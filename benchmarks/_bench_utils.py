@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+scaled-down dataset analogues.  The wall-clock numbers are collected by
+pytest-benchmark; the paper-style rows (who wins, by how much, how the trend
+moves with the swept parameter) are attached as ``extra_info`` and printed so
+they can be copied into EXPERIMENTS.md.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The enumeration runs take between 0.05s and a few seconds; a single round
+    keeps the whole suite fast while still recording comparable timings.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach_rows(benchmark, rows, keys=None):
+    """Attach harness rows to the benchmark record and return them."""
+    compact = []
+    for row in rows:
+        if keys is None:
+            compact.append(dict(row))
+        else:
+            compact.append({key: row.get(key) for key in keys})
+    benchmark.extra_info["rows"] = compact
+    return rows
+
+
+@pytest.fixture(scope="session")
+def speedup_table():
+    """Collect per-benchmark speedups so the terminal summary can show them."""
+    return {}

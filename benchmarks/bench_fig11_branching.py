@@ -1,0 +1,47 @@
+"""Figure 11: effect of the branching strategy inside DCFastQC.
+
+Compares Hybrid-SE (paper default), Sym-SE and plain SE branching — all with
+the same FastQC pruning and the same DC framework — on the Enron and Hyves
+analogues while varying gamma and theta.  Reproduced observation: the
+pivot-driven branchings (Hybrid-SE / Sym-SE) never explore more branches than
+SE, and Hybrid-SE is at least as good as Sym-SE in aggregate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure11_rows, format_table
+
+from _bench_utils import attach_rows, run_once
+
+CASES = [("enron", "gamma"), ("enron", "theta"), ("hyves", "gamma"), ("hyves", "theta")]
+
+
+@pytest.mark.parametrize("name, vary", CASES)
+def test_figure11_branching(benchmark, name, vary):
+    rows = run_once(benchmark, figure11_rows, names=(name,), vary=vary)
+    attach_rows(benchmark, rows, keys=["dataset", "branching", "swept_parameter",
+                                       "swept_value", "enumeration_seconds",
+                                       "branches_explored", "maximal_count"])
+    totals = {}
+    for row in rows:
+        totals.setdefault(row["branching"], 0)
+        totals[row["branching"]] += row["branches_explored"]
+    benchmark.extra_info["total_branches"] = totals
+
+    # Correctness: every branching strategy finds the same number of MQCs at
+    # every swept value.
+    by_value = {}
+    for row in rows:
+        by_value.setdefault(row["swept_value"], set()).add(row["maximal_count"])
+    assert all(len(counts) == 1 for counts in by_value.values())
+
+    # Shape: the pivot-driven branchings explore no more branches than SE in
+    # aggregate over the sweep.
+    assert totals["hybrid"] <= totals["se"]
+    assert totals["sym-se"] <= totals["se"]
+    print()
+    print(format_table(rows, columns=["dataset", "branching", "swept_value",
+                                      "enumeration_seconds", "branches_explored"]))
+    print(f"total branches: {totals}")

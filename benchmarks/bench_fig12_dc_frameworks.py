@@ -1,0 +1,50 @@
+"""Figure 12: effect of the divide-and-conquer framework.
+
+Compares DCFastQC (paper framework: degeneracy ordering + one/two-hop
+shrinking), BDCFastQC (basic DC of earlier work: degree ordering + one-hop
+shrinking) and plain FastQC (no decomposition) while varying gamma and theta.
+Reproduced observations: both DC variants beat plain FastQC, and DCFastQC is at
+least as fast as BDCFastQC thanks to the extra two-hop pruning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure12_rows, format_table
+
+from _bench_utils import attach_rows, run_once
+
+CASES = [("enron", "gamma"), ("enron", "theta"), ("hyves", "gamma"), ("hyves", "theta")]
+
+
+@pytest.mark.parametrize("name, vary", CASES)
+def test_figure12_dc_frameworks(benchmark, name, vary):
+    rows = run_once(benchmark, figure12_rows, names=(name,), vary=vary)
+    attach_rows(benchmark, rows, keys=["dataset", "variant", "swept_parameter",
+                                       "swept_value", "enumeration_seconds",
+                                       "branches_explored", "maximal_count"])
+    totals_time = {}
+    totals_branches = {}
+    for row in rows:
+        totals_time[row["variant"]] = totals_time.get(row["variant"], 0.0) + row["enumeration_seconds"]
+        totals_branches[row["variant"]] = (totals_branches.get(row["variant"], 0)
+                                           + row["branches_explored"])
+    benchmark.extra_info["total_seconds"] = {k: round(v, 3) for k, v in totals_time.items()}
+    benchmark.extra_info["total_branches"] = totals_branches
+
+    # Correctness: every framework finds the same number of MQCs at every value.
+    by_value = {}
+    for row in rows:
+        by_value.setdefault(row["swept_value"], set()).add(row["maximal_count"])
+    assert all(len(counts) == 1 for counts in by_value.values())
+
+    # Shape: the DC frameworks dominate plain FastQC, and the full DC framework
+    # is at least as fast as the basic one.
+    assert totals_time["DCFastQC"] <= totals_time["FastQC"]
+    assert totals_time["BDCFastQC"] <= totals_time["FastQC"]
+    assert totals_time["DCFastQC"] <= totals_time["BDCFastQC"] * 1.2
+    print()
+    print(format_table(rows, columns=["dataset", "variant", "swept_value",
+                                      "enumeration_seconds", "branches_explored"]))
+    print(f"total seconds: { {k: round(v, 3) for k, v in totals_time.items()} }")

@@ -1,0 +1,57 @@
+"""Figure 9: running time of DCFastQC vs Quick+ while varying theta.
+
+Reproduced observations: DCFastQC wins at every theta, and the work (explored
+branches / running time) shrinks as theta grows because the size-based pruning
+and the divide-and-conquer reduction become more effective.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DEFAULT_FIGURE_DATASETS, get_spec
+from repro.experiments import format_table, speedup_over_baseline, sweep_parameter
+
+from _bench_utils import attach_rows, run_once
+
+
+def theta_values(name: str) -> list[int]:
+    theta = get_spec(name).default_theta
+    return [max(2, theta - 2), theta, theta + 2]
+
+
+@pytest.mark.parametrize("name", DEFAULT_FIGURE_DATASETS)
+def test_figure9_vary_theta(benchmark, name):
+    spec = get_spec(name)
+    graph = spec.build()
+    values = theta_values(name)
+
+    def run():
+        return sweep_parameter(graph, "theta", values, spec.default_gamma,
+                               spec.default_theta, algorithms=("dcfastqc", "quickplus"))
+
+    rows = run_once(benchmark, run)
+    for row in rows:
+        row["dataset"] = name
+    attach_rows(benchmark, rows, keys=["dataset", "algorithm", "swept_value",
+                                       "enumeration_seconds", "branches_explored",
+                                       "maximal_count"])
+    speedup = speedup_over_baseline(rows)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    # Correctness: both algorithms agree on the MQC count at every theta.
+    for value in values:
+        counts = {row["algorithm"]: row["maximal_count"]
+                  for row in rows if row["swept_value"] == value}
+        assert counts["dcfastqc"] == counts["quickplus"]
+    # Shape: DCFastQC at least matches Quick+ overall.
+    assert speedup >= 0.5
+    # Shape: the DCFastQC branch count shrinks from the smallest to the
+    # largest theta (pruning and DC reduction get stronger with theta).
+    dcfastqc_branches = {row["swept_value"]: row["branches_explored"]
+                         for row in rows if row["algorithm"] == "dcfastqc"}
+    assert dcfastqc_branches[values[-1]] <= dcfastqc_branches[values[0]]
+    print()
+    print(format_table(rows, columns=["dataset", "algorithm", "swept_value",
+                                      "enumeration_seconds", "branches_explored",
+                                      "maximal_count"]))

@@ -1,0 +1,75 @@
+"""Theorem 1 / Remark 2: the theoretical worst-case bounds per dataset.
+
+Not a figure in the paper, but the quantitative core of its Section 4.5 / 5
+analysis: FastQC's ``O(n * d * alpha_k^n)`` bound with ``alpha_k < 2`` always
+beats Quick+'s ``O(n * d * 2^n)``, and on sparse graphs (``omega * d << n``)
+DCFastQC's ``O(n * omega * d^2 * alpha_k^(omega d))`` bound beats both.  The
+benchmark evaluates the three bounds (as log2 values — the raw numbers are
+astronomically large) for every dataset analogue, using its real max degree and
+degeneracy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    branching_factor,
+    dcfastqc_budget_bound,
+    dcfastqc_worst_case_log2,
+    fastqc_budget_bound,
+    fastqc_worst_case_log2,
+    quickplus_worst_case_log2,
+)
+from repro.datasets import dataset_names, get_spec
+from repro.experiments import format_table
+from repro.graph.statistics import graph_statistics
+
+from _bench_utils import attach_rows, run_once
+
+
+def theory_rows(name: str) -> list[dict]:
+    spec = get_spec(name)
+    graph = spec.build()
+    stats = graph_statistics(graph)
+    gamma = spec.default_gamma
+    k_fastqc = fastqc_budget_bound(stats.vertex_count, gamma)
+    k_dc = dcfastqc_budget_bound(stats.degeneracy, stats.max_degree, gamma)
+    return [{
+        "dataset": name,
+        "vertices": stats.vertex_count,
+        "max_degree": stats.max_degree,
+        "degeneracy": stats.degeneracy,
+        "gamma": gamma,
+        "alpha_k_fastqc": round(branching_factor(k_fastqc), 4),
+        "alpha_k_dcfastqc": round(branching_factor(k_dc), 4),
+        "log2_bound_quickplus": round(quickplus_worst_case_log2(
+            stats.vertex_count, stats.max_degree), 1),
+        "log2_bound_fastqc": round(fastqc_worst_case_log2(
+            stats.vertex_count, stats.max_degree, gamma), 1),
+        "log2_bound_dcfastqc": round(dcfastqc_worst_case_log2(
+            stats.vertex_count, stats.max_degree, stats.degeneracy, gamma), 1),
+    }]
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_theoretical_bounds(benchmark, name):
+    rows = run_once(benchmark, theory_rows, name)
+    attach_rows(benchmark, rows)
+    row = rows[0]
+
+    # Theorem 1: FastQC's bound is strictly below Quick+'s O*(2^n).  The gap per
+    # vertex is tiny when tau(n) is large (alpha_k -> 2), so the comparison uses
+    # the unrounded values rather than the display columns.
+    k_fastqc = fastqc_budget_bound(row["vertices"], row["gamma"])
+    assert branching_factor(k_fastqc) < 2.0
+    raw_fastqc = fastqc_worst_case_log2(row["vertices"], row["max_degree"], row["gamma"])
+    raw_quickplus = quickplus_worst_case_log2(row["vertices"], row["max_degree"])
+    assert raw_fastqc < raw_quickplus
+    # Section 5: on sparse graphs (omega * d << n) the DC bound is smaller still.
+    if row["degeneracy"] * row["max_degree"] < row["vertices"]:
+        raw_dcfastqc = dcfastqc_worst_case_log2(
+            row["vertices"], row["max_degree"], row["degeneracy"], row["gamma"])
+        assert raw_dcfastqc < raw_fastqc
+    print()
+    print(format_table(rows))

@@ -1,0 +1,5 @@
+"""Benchmark-suite conftest: keeps pytest-benchmark configuration local.
+
+The shared helpers live in ``_bench_utils``; see that module and the
+individual ``bench_*.py`` files for what each benchmark reproduces.
+"""

@@ -1,0 +1,57 @@
+"""Regenerate a miniature version of the paper's evaluation tables and figures.
+
+This example drives the ``repro.experiments`` harness exactly the way the
+benchmark suite does, but on a trimmed set of datasets and parameter values so
+it finishes in well under a minute.  The full-scale runs live under
+``benchmarks/`` and are recorded in EXPERIMENTS.md.
+
+Run with:  python examples/paper_experiments.py
+"""
+
+from repro.experiments import (
+    figure7_rows,
+    figure11_rows,
+    figure12_rows,
+    format_table,
+    max_round_rows,
+    speedup_over_baseline,
+    table1_rows,
+)
+
+
+def main() -> None:
+    print("== Table 1 (three dataset analogues) ==")
+    rows = table1_rows(names=["ca-grqc", "enron", "fullusa"])
+    print(format_table(rows, columns=[
+        "dataset", "vertices", "edges", "max_degree", "degeneracy",
+        "gamma_default", "theta_default", "mqc_count", "dcfastqc_count",
+        "quickplus_count", "min_size", "max_size", "avg_size"]))
+
+    print("\n== Figure 7 (running time, defaults) ==")
+    rows = figure7_rows(names=["ca-grqc", "enron", "fullusa"])
+    print(format_table(rows, columns=[
+        "dataset", "algorithm", "enumeration_seconds", "branches_explored",
+        "candidate_count", "maximal_count"]))
+    print(f"overall DCFastQC speedup over Quick+: "
+          f"{speedup_over_baseline(rows):.1f}x")
+
+    print("\n== Figure 11 (branching strategies, enron analogue) ==")
+    rows = figure11_rows(names=["enron"], vary="theta")
+    print(format_table(rows, columns=[
+        "dataset", "branching", "swept_value", "enumeration_seconds",
+        "branches_explored"]))
+
+    print("\n== Figure 12 (divide-and-conquer frameworks, enron analogue) ==")
+    rows = figure12_rows(names=["enron"], vary="theta")
+    print(format_table(rows, columns=[
+        "dataset", "variant", "swept_value", "enumeration_seconds",
+        "branches_explored"]))
+
+    print("\n== MAX_ROUND ablation ==")
+    rows = max_round_rows(names=["enron"], rounds=(1, 2, 3))
+    print(format_table(rows, columns=[
+        "dataset", "max_rounds", "enumeration_seconds", "branches_explored"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed in environments without the ``wheel`` package
+(legacy editable installs via ``pip install -e . --no-use-pep517`` or
+``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — maximal quasi-clique enumeration (FastQC / DCFastQC / Quick+).
+
+A production-quality reproduction of "Fast Maximal Quasi-clique Enumeration:
+A Pruning and Branching Co-Design Approach" (Yu & Long, SIGMOD).  The package
+provides
+
+* :class:`repro.Graph` — the graph substrate,
+* :func:`repro.find_maximal_quasi_cliques` — the end-to-end MQCE pipeline,
+* :class:`repro.FastQC`, :class:`repro.DCFastQC`, :class:`repro.QuickPlus` —
+  the MQCE-S1 branch-and-bound algorithms,
+* :func:`repro.filter_non_maximal` — the set-trie based MQCE-S2 filter,
+* ``repro.datasets`` / ``repro.experiments`` — dataset analogues and the
+  table/figure reproduction harness.
+
+Quickstart
+----------
+>>> from repro import Graph, find_maximal_quasi_cliques
+>>> graph = Graph(edges=[(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 4)])
+>>> result = find_maximal_quasi_cliques(graph, gamma=0.6, theta=3)
+>>> sorted(sorted(h) for h in result.maximal_quasi_cliques)
+[[1, 2, 3, 4]]
+"""
+
+from .graph import Graph, GraphError, read_edge_list, write_edge_list
+from .quasiclique import (
+    is_maximal_quasi_clique,
+    is_quasi_clique,
+    satisfies_maximality_necessary_condition,
+)
+from .core import DCFastQC, FastQC, SearchStatistics, branching_factor
+from .baselines import NaiveEnumerator, QuickPlus
+from .settrie import SetTrie, filter_non_maximal
+from .pipeline import (
+    ALGORITHMS,
+    EnumerationResult,
+    enumerate_candidate_quasi_cliques,
+    find_maximal_quasi_cliques,
+)
+from .extensions import (
+    ParallelDCFastQC,
+    community_of,
+    find_largest_quasi_cliques,
+    find_quasi_cliques_containing,
+    kernel_expansion_top_k,
+)
+from . import datasets, experiments, extensions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "read_edge_list",
+    "write_edge_list",
+    "is_quasi_clique",
+    "is_maximal_quasi_clique",
+    "satisfies_maximality_necessary_condition",
+    "FastQC",
+    "DCFastQC",
+    "QuickPlus",
+    "NaiveEnumerator",
+    "SearchStatistics",
+    "branching_factor",
+    "SetTrie",
+    "filter_non_maximal",
+    "ALGORITHMS",
+    "EnumerationResult",
+    "enumerate_candidate_quasi_cliques",
+    "find_maximal_quasi_cliques",
+    "ParallelDCFastQC",
+    "community_of",
+    "find_largest_quasi_cliques",
+    "find_quasi_cliques_containing",
+    "kernel_expansion_top_k",
+    "datasets",
+    "experiments",
+    "extensions",
+    "__version__",
+]

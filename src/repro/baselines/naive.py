@@ -1,0 +1,41 @@
+"""Naive exhaustive baseline.
+
+Wraps the brute-force reference enumerator behind the same calling convention
+as the branch-and-bound algorithms so the experiment harness and the benchmark
+ablations can include it on tiny inputs.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph
+from ..quasiclique.bruteforce import (
+    enumerate_all_quasi_cliques,
+    enumerate_maximal_quasi_cliques_bruteforce,
+)
+from ..quasiclique.definitions import validate_parameters
+from ..core.stats import SearchStatistics
+
+
+class NaiveEnumerator:
+    """Exhaustive subset enumeration; usable only on graphs with ~20 vertices."""
+
+    def __init__(self, graph: Graph, gamma: float, theta: int,
+                 maximal_only: bool = False) -> None:
+        validate_parameters(gamma, theta)
+        self.graph = graph
+        self.gamma = gamma
+        self.theta = theta
+        self.maximal_only = maximal_only
+        self.statistics = SearchStatistics()
+
+    def enumerate(self) -> list[frozenset]:
+        """Enumerate all (or all maximal) large gamma-quasi-cliques exhaustively."""
+        if self.maximal_only:
+            result = enumerate_maximal_quasi_cliques_bruteforce(
+                self.graph, self.gamma, self.theta)
+        else:
+            result = enumerate_all_quasi_cliques(self.graph, self.gamma, self.theta)
+        self.statistics.outputs = len(result)
+        self.statistics.subproblems = 1
+        self.statistics.branches_explored = 2 ** self.graph.vertex_count
+        return result

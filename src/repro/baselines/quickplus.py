@@ -1,0 +1,182 @@
+"""Quick+ (Algorithm 1): the state-of-the-art baseline reproduced from Section 3.
+
+Quick+ explores the search space with the classic set-enumeration (SE)
+branching and applies Type I (candidate) and Type II (branch) pruning rules
+before each recursion.  A branch outputs its partial set ``G[S]`` only when no
+sub-branch found a quasi-clique (the non-hereditary bookkeeping of
+Algorithm 1).  The worst case explores ``O(2^n)`` branches.
+
+For the paper's "co-design" ablation the branching method is configurable: the
+same pruning rules can be combined with the Sym-SE or Hybrid-SE branch
+generators (driven by the FastQC pivot machinery), which isolates the
+contribution of the branching part.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable, Iterable
+
+from ..graph.graph import Graph, VertexLabel, iter_bits
+from ..quasiclique.definitions import mask_is_quasi_clique, validate_parameters
+from ..core.branch import Branch
+from ..core.branching import BRANCHING_METHODS, generate_branches, select_pivot
+from ..core.conditions import tau_sigma
+from ..core.stats import SearchStatistics
+from .pruning_rules import (
+    PruningConfig,
+    apply_type1_rules,
+    critical_vertex_forced_mask,
+    triggers_type2_rules,
+)
+
+
+class QuickPlus:
+    """Branch-and-bound enumerator for MQCE-S1 with SE branching and Type I/II pruning.
+
+    Parameters mirror :class:`repro.core.fastqc.FastQC`; ``branching="se"`` is
+    the faithful Quick+ configuration, while ``"sym-se"`` / ``"hybrid"``
+    reproduce the paper's ablation that pairs the old pruning rules with the
+    new branching methods.
+    """
+
+    def __init__(self, graph: Graph, gamma: float, theta: int,
+                 branching: str = "se", pruning: PruningConfig = PruningConfig(),
+                 on_output: Callable[[frozenset], None] | None = None) -> None:
+        validate_parameters(gamma, theta)
+        if branching not in BRANCHING_METHODS:
+            raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
+        self.graph = graph
+        self.gamma = gamma
+        self.theta = theta
+        self.branching = branching
+        self.pruning = pruning
+        self.on_output = on_output
+        self.statistics = SearchStatistics()
+        self._results: list[frozenset] = []
+        self._seen_masks: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def enumerate(self) -> list[frozenset]:
+        """Run Quick+ on the whole graph: ``Quick-Rec(∅, V, ∅)``."""
+        return self.enumerate_branch(Branch.initial(self.graph))
+
+    def enumerate_from(self, partial: Iterable[VertexLabel],
+                       candidates: Iterable[VertexLabel],
+                       excluded: Iterable[VertexLabel] = ()) -> list[frozenset]:
+        """Run Quick+ from an explicit starting branch given by vertex labels."""
+        branch = Branch(
+            self.graph.mask_of(partial),
+            self.graph.mask_of(candidates),
+            self.graph.mask_of(excluded),
+        )
+        return self.enumerate_branch(branch)
+
+    def enumerate_branch(self, branch: Branch) -> list[frozenset]:
+        """Run Quick+ starting from a prepared bitmask branch."""
+        self.statistics.subproblems += 1
+        self.statistics.subproblem_sizes.append(branch.union_size)
+        depth_needed = branch.union_size + 100
+        previous_limit = sys.getrecursionlimit()
+        if previous_limit < depth_needed + 1000:
+            sys.setrecursionlimit(depth_needed + 1000)
+        try:
+            start = len(self._results)
+            self._recurse(branch)
+            return self._results[start:]
+        finally:
+            sys.setrecursionlimit(previous_limit)
+
+    @property
+    def results(self) -> list[frozenset]:
+        return list(self._results)
+
+    # ------------------------------------------------------------------
+    # Recursive core (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _recurse(self, branch: Branch) -> bool:
+        """Return True iff a QC was output in this branch or any sub-branch."""
+        self.statistics.branches_explored += 1
+
+        # Termination: no candidates left (lines 3-6).
+        if branch.c_mask == 0:
+            if branch.s_mask and mask_is_quasi_clique(self.graph, branch.s_mask, self.gamma):
+                self._emit(branch.s_mask)
+                return True
+            return False
+
+        # Critical-vertex rule: candidates that every large QC under the branch
+        # must contain are moved into S before branching.
+        if self.pruning.critical_vertex:
+            forced = critical_vertex_forced_mask(self.graph, branch, self.gamma, self.theta)
+            if forced:
+                branch = branch.include(forced)
+
+        children = self._create_children(branch)
+
+        found_any = False
+        for child in children:
+            # Pruning before the next recursion (lines 9-10).
+            pruned_c = apply_type1_rules(self.graph, child, self.gamma, self.theta, self.pruning)
+            self.statistics.candidates_removed_by_type1 += (child.c_mask ^ pruned_c).bit_count()
+            child = child.with_candidates(pruned_c)
+            if triggers_type2_rules(self.graph, child, self.gamma, self.theta, self.pruning):
+                self.statistics.branches_pruned_by_type2 += 1
+                continue
+            if self._recurse(child):
+                found_any = True
+
+        # Additional step (lines 12-14): output G[S] if no sub-branch found a QC.
+        if found_any:
+            return True
+        if branch.s_mask and mask_is_quasi_clique(self.graph, branch.s_mask, self.gamma):
+            self._emit(branch.s_mask)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _create_children(self, branch: Branch) -> list[Branch]:
+        """SE branching over the natural candidate order, or the ablation branchings."""
+        if self.branching == "se":
+            ordering = list(iter_bits(branch.c_mask))
+            children = []
+            preceding = 0
+            for vertex in ordering:
+                bit = 1 << vertex
+                children.append(Branch(branch.s_mask | bit,
+                                       branch.c_mask & ~(preceding | bit),
+                                       branch.d_mask | preceding))
+                preceding |= bit
+            return children
+        # Ablation configurations: pair the Quick+ pruning rules with the new
+        # pivot-driven branch generators.  The pivot needs the disconnection
+        # budget tau(sigma(B)) from the FastQC framework.
+        tau_value = tau_sigma(self.graph, branch, self.gamma)
+        pivot = select_pivot(self.graph, branch, tau_value)
+        if pivot is None:
+            # The whole branch is a QC; emit it and stop descending.
+            self._emit(branch.union_mask)
+            return []
+        return generate_branches(self.graph, branch, pivot, self.branching)
+
+    def _emit(self, subset_mask: int) -> None:
+        if subset_mask.bit_count() < self.theta:
+            return
+        if subset_mask in self._seen_masks:
+            return
+        self._seen_masks.add(subset_mask)
+        labels = self.graph.labels_of_mask(subset_mask)
+        self._results.append(labels)
+        self.statistics.outputs += 1
+        if self.on_output is not None:
+            self.on_output(labels)
+
+
+def quickplus_enumerate(graph: Graph, gamma: float, theta: int,
+                        branching: str = "se") -> list[frozenset]:
+    """Functional convenience wrapper around :class:`QuickPlus`."""
+    return QuickPlus(graph, gamma, theta, branching=branching).enumerate()

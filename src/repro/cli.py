@@ -1,0 +1,226 @@
+"""Command-line interface: ``repro-mqce`` / ``python -m repro``.
+
+Sub-commands
+------------
+``enumerate``  Run the full MQCE pipeline on an edge-list file or a registered
+               dataset analogue and print (or save) the maximal quasi-cliques.
+``topk``       Find the k largest maximal quasi-cliques (exact or kernel expansion).
+``community``  Find the maximal quasi-cliques containing given query vertices.
+``stats``      Print graph statistics (the input columns of Table 1).
+``datasets``   List the registered dataset analogues and their defaults.
+``table1``     Regenerate the Table 1 rows on the dataset analogues.
+``figure``     Regenerate one of the paper's figures (7, 8, 9, 10, 11, 12).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .datasets.registry import REGISTRY, get_spec, load_dataset
+from .experiments import figures as figure_module
+from .experiments.harness import format_table
+from .experiments.tables import table1_rows
+from .extensions.query import find_quasi_cliques_containing
+from .extensions.topk import find_largest_quasi_cliques, kernel_expansion_top_k
+from .graph.io import read_edge_list, write_quasi_cliques
+from .graph.statistics import graph_statistics
+from .pipeline.mqce import ALGORITHMS, find_maximal_quasi_cliques
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load_dataset(args.dataset)
+    if args.input:
+        return read_edge_list(args.input)
+    raise SystemExit("either --input FILE or --dataset NAME is required")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", "-i", help="edge-list file to read")
+    parser.add_argument("--dataset", "-d", help="registered dataset analogue to build")
+
+
+def _command_enumerate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    gamma = args.gamma
+    theta = args.theta
+    if args.dataset and gamma is None:
+        gamma = get_spec(args.dataset).default_gamma
+    if args.dataset and theta is None:
+        theta = get_spec(args.dataset).default_theta
+    if gamma is None or theta is None:
+        raise SystemExit("--gamma and --theta are required for --input graphs")
+    result = find_maximal_quasi_cliques(graph, gamma, theta, algorithm=args.algorithm)
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+    else:
+        print(f"# {result.maximal_count} maximal {gamma}-quasi-cliques with >= {theta} vertices "
+              f"({result.algorithm}, {result.total_seconds:.3f}s)")
+        for clique in result.maximal_quasi_cliques:
+            print(" ".join(str(v) for v in sorted(clique, key=str)))
+    if args.output:
+        write_quasi_cliques(result.maximal_quasi_cliques, args.output)
+    return 0
+
+
+def _resolve_defaults(args: argparse.Namespace) -> tuple[float, int | None]:
+    """Fill gamma/theta from the dataset defaults when they were not given."""
+    gamma = args.gamma
+    theta = getattr(args, "theta", None)
+    if args.dataset:
+        spec = get_spec(args.dataset)
+        if gamma is None:
+            gamma = spec.default_gamma
+        if theta is None:
+            theta = spec.default_theta
+    return gamma, theta
+
+
+def _command_topk(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    gamma, _ = _resolve_defaults(args)
+    if gamma is None:
+        raise SystemExit("--gamma is required for --input graphs")
+    if args.heuristic:
+        cliques = kernel_expansion_top_k(graph, gamma, k=args.k,
+                                         kernel_theta=max(2, args.min_size))
+    else:
+        cliques = find_largest_quasi_cliques(graph, gamma, k=args.k,
+                                             minimum_size=args.min_size)
+    method = "kernel expansion" if args.heuristic else "exact"
+    print(f"# top-{args.k} largest {gamma}-quasi-cliques ({method})")
+    for rank, clique in enumerate(cliques, start=1):
+        print(f"{rank}. size {len(clique)}: "
+              + " ".join(str(v) for v in sorted(clique, key=str)))
+    return 0
+
+
+def _command_community(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    gamma, theta = _resolve_defaults(args)
+    if gamma is None or theta is None:
+        raise SystemExit("--gamma and --theta are required for --input graphs")
+    query = [_int_if_possible(token) for token in args.vertices]
+    cliques = find_quasi_cliques_containing(graph, query, gamma, theta=theta)
+    print(f"# {len(cliques)} maximal {gamma}-quasi-cliques (size >= {theta}) "
+          f"containing {', '.join(map(str, query))}")
+    for clique in cliques:
+        print(" ".join(str(v) for v in sorted(clique, key=str)))
+    return 0
+
+
+def _int_if_possible(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = graph_statistics(graph)
+    print(json.dumps(stats.as_dict(), indent=2))
+    return 0
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for spec in REGISTRY.values():
+        rows.append({
+            "name": spec.name,
+            "description": spec.description,
+            "vertices": spec.vertices,
+            "gamma_default": spec.default_gamma,
+            "theta_default": spec.default_theta,
+            "paper_vertices": spec.paper.vertices,
+        })
+    print(format_table(rows))
+    return 0
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    names = args.names or None
+    rows = table1_rows(names=names, include_quickplus=not args.skip_quickplus)
+    print(format_table(rows))
+    return 0
+
+
+_FIGURE_DISPATCH = {
+    "7": lambda: figure_module.figure7_rows(),
+    "8": lambda: figure_module.figure8_rows(),
+    "9": lambda: figure_module.figure9_rows(),
+    "10a": lambda: figure_module.figure10a_rows(),
+    "10b": lambda: figure_module.figure10b_rows(),
+    "11": lambda: figure_module.figure11_rows(),
+    "12": lambda: figure_module.figure12_rows(),
+}
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    rows = _FIGURE_DISPATCH[args.figure]()
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mqce",
+        description="Maximal quasi-clique enumeration (FastQC / DCFastQC / Quick+)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    enumerate_parser = subparsers.add_parser("enumerate", help="run the MQCE pipeline")
+    _add_graph_arguments(enumerate_parser)
+    enumerate_parser.add_argument("--gamma", "-g", type=float, help="degree fraction in [0.5, 1]")
+    enumerate_parser.add_argument("--theta", "-t", type=int, help="minimum quasi-clique size")
+    enumerate_parser.add_argument("--algorithm", "-a", choices=ALGORITHMS, default="dcfastqc")
+    enumerate_parser.add_argument("--output", "-o", help="write the MQCs to this file")
+    enumerate_parser.add_argument("--json", action="store_true", help="print a JSON summary only")
+    enumerate_parser.set_defaults(handler=_command_enumerate)
+
+    topk_parser = subparsers.add_parser("topk", help="find the k largest quasi-cliques")
+    _add_graph_arguments(topk_parser)
+    topk_parser.add_argument("--gamma", "-g", type=float, help="degree fraction in [0.5, 1]")
+    topk_parser.add_argument("-k", type=int, default=3, help="how many quasi-cliques (default 3)")
+    topk_parser.add_argument("--min-size", type=int, default=3,
+                             help="smallest size threshold the search may drop to")
+    topk_parser.add_argument("--heuristic", action="store_true",
+                             help="use kernel expansion instead of the exact search")
+    topk_parser.set_defaults(handler=_command_topk)
+
+    community_parser = subparsers.add_parser(
+        "community", help="find quasi-cliques containing the given vertices")
+    _add_graph_arguments(community_parser)
+    community_parser.add_argument("vertices", nargs="+", help="query vertex labels")
+    community_parser.add_argument("--gamma", "-g", type=float, help="degree fraction in [0.5, 1]")
+    community_parser.add_argument("--theta", "-t", type=int, help="minimum quasi-clique size")
+    community_parser.set_defaults(handler=_command_community)
+
+    stats_parser = subparsers.add_parser("stats", help="print graph statistics")
+    _add_graph_arguments(stats_parser)
+    stats_parser.set_defaults(handler=_command_stats)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list dataset analogues")
+    datasets_parser.set_defaults(handler=_command_datasets)
+
+    table1_parser = subparsers.add_parser("table1", help="regenerate Table 1")
+    table1_parser.add_argument("names", nargs="*", help="dataset names (default: all)")
+    table1_parser.add_argument("--skip-quickplus", action="store_true")
+    table1_parser.set_defaults(handler=_command_table1)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a figure")
+    figure_parser.add_argument("figure", choices=sorted(_FIGURE_DISPATCH))
+    figure_parser.set_defaults(handler=_command_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Branch representation for the branch-and-bound algorithms.
+
+A branch ``B = (S, C, D)`` (Section 3) represents the sub-space of vertex sets
+``H`` with ``S ⊆ H ⊆ S ∪ C`` and ``H ∩ D = ∅``:
+
+* **S** — the partial set: vertices included in every set of the branch,
+* **C** — the candidate set: vertices that may still be added, and
+* **D** — the exclusion set: vertices excluded from every set of the branch.
+
+Branches are stored as bitmasks over the owning graph's vertex indices, which
+keeps the per-branch bookkeeping (degrees, disconnections, set algebra) cheap.
+Branch objects are immutable; refinement and branching create new objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.graph import Graph, iter_bits
+
+
+@dataclass(frozen=True)
+class Branch:
+    """An immutable ``(S, C, D)`` branch over a graph's vertex indices."""
+
+    s_mask: int
+    c_mask: int
+    d_mask: int
+
+    def __post_init__(self) -> None:
+        if self.s_mask & self.c_mask:
+            raise ValueError("S and C must be disjoint")
+        if (self.s_mask | self.c_mask) & self.d_mask:
+            raise ValueError("D must be disjoint from S and C")
+
+    # ------------------------------------------------------------------
+    # Sizes and membership
+    # ------------------------------------------------------------------
+    @property
+    def union_mask(self) -> int:
+        """The bitmask of ``S ∪ C``."""
+        return self.s_mask | self.c_mask
+
+    @property
+    def partial_size(self) -> int:
+        """``|S|``."""
+        return self.s_mask.bit_count()
+
+    @property
+    def candidate_size(self) -> int:
+        """``|C|``."""
+        return self.c_mask.bit_count()
+
+    @property
+    def union_size(self) -> int:
+        """``|S ∪ C|``."""
+        return self.union_mask.bit_count()
+
+    def partial_vertices(self) -> list[int]:
+        """Indices of S in increasing order."""
+        return list(iter_bits(self.s_mask))
+
+    def candidate_vertices(self) -> list[int]:
+        """Indices of C in increasing order."""
+        return list(iter_bits(self.c_mask))
+
+    def excluded_vertices(self) -> list[int]:
+        """Indices of D in increasing order."""
+        return list(iter_bits(self.d_mask))
+
+    # ------------------------------------------------------------------
+    # Derived branches
+    # ------------------------------------------------------------------
+    def with_candidates(self, new_c_mask: int) -> "Branch":
+        """Return a copy with the candidate set replaced (refinement step)."""
+        return Branch(self.s_mask, new_c_mask, self.d_mask)
+
+    def include(self, vertex_mask: int) -> "Branch":
+        """Return the branch obtained by moving ``vertex_mask ⊆ C`` into S."""
+        if vertex_mask & ~self.c_mask:
+            raise ValueError("can only include candidate vertices")
+        return Branch(self.s_mask | vertex_mask, self.c_mask & ~vertex_mask, self.d_mask)
+
+    def exclude(self, vertex_mask: int) -> "Branch":
+        """Return the branch obtained by moving ``vertex_mask ⊆ C`` into D."""
+        if vertex_mask & ~self.c_mask:
+            raise ValueError("can only exclude candidate vertices")
+        return Branch(self.s_mask, self.c_mask & ~vertex_mask, self.d_mask | vertex_mask)
+
+    def covers(self, subset_mask: int) -> bool:
+        """Return True iff the vertex set ``subset_mask`` lies inside this branch."""
+        if self.s_mask & ~subset_mask:
+            return False
+        if subset_mask & ~self.union_mask:
+            return False
+        return not (subset_mask & self.d_mask)
+
+    @classmethod
+    def initial(cls, graph: Graph) -> "Branch":
+        """Return the universal branch ``(∅, V, ∅)``."""
+        return cls(0, graph.full_mask(), 0)
+
+    @classmethod
+    def from_labels(cls, graph: Graph, partial=(), candidates=None, excluded=()) -> "Branch":
+        """Build a branch from label collections (candidates default to the rest)."""
+        s_mask = graph.mask_of(partial)
+        d_mask = graph.mask_of(excluded)
+        if candidates is None:
+            c_mask = graph.full_mask() & ~s_mask & ~d_mask
+        else:
+            c_mask = graph.mask_of(candidates) & ~s_mask
+        return cls(s_mask, c_mask, d_mask)
+
+
+# ----------------------------------------------------------------------
+# Degree / disconnection bookkeeping over branches
+# ----------------------------------------------------------------------
+def degree_in_union(graph: Graph, vertex: int, branch: Branch) -> int:
+    """Return ``delta(v, S ∪ C)``."""
+    return (graph.adjacency_mask(vertex) & branch.union_mask).bit_count()
+
+
+def degree_in_partial(graph: Graph, vertex: int, branch: Branch) -> int:
+    """Return ``delta(v, S)``."""
+    return (graph.adjacency_mask(vertex) & branch.s_mask).bit_count()
+
+
+def disconnections_in_partial(graph: Graph, vertex: int, branch: Branch) -> int:
+    """Return ``delta_bar(v, S)`` (counts ``v`` itself when ``v ∈ S``)."""
+    return (branch.s_mask & ~graph.adjacency_mask(vertex)).bit_count()
+
+
+def disconnections_in_union(graph: Graph, vertex: int, branch: Branch) -> int:
+    """Return ``delta_bar(v, S ∪ C)`` (counts ``v`` itself when it is in the union)."""
+    return (branch.union_mask & ~graph.adjacency_mask(vertex)).bit_count()
+
+
+def max_disconnections_in_partial(graph: Graph, branch: Branch) -> int:
+    """Return ``Delta(S)``; 0 when S is empty."""
+    if branch.s_mask == 0:
+        return 0
+    return max((branch.s_mask & ~graph.adjacency_mask(v)).bit_count()
+               for v in iter_bits(branch.s_mask))
+
+def max_disconnections_in_union(graph: Graph, branch: Branch) -> int:
+    """Return ``Delta(S ∪ C)``; 0 when the union is empty."""
+    union = branch.union_mask
+    if union == 0:
+        return 0
+    return max((union & ~graph.adjacency_mask(v)).bit_count() for v in iter_bits(union))
+
+
+def min_partial_degree_in_union(graph: Graph, branch: Branch) -> int:
+    """Return ``d_min(B) = min_{v in S} delta(v, S ∪ C)`` (Equation 11); 0 when S is empty."""
+    if branch.s_mask == 0:
+        return 0
+    union = branch.union_mask
+    return min((graph.adjacency_mask(v) & union).bit_count() for v in iter_bits(branch.s_mask))

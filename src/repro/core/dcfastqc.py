@@ -1,0 +1,234 @@
+"""DCFastQC (Algorithm 3): the divide-and-conquer driver around FastQC.
+
+For gamma >= 0.5 every quasi-clique has diameter at most 2 (Property 2), so an
+MQC containing vertex ``v_i`` lives entirely inside the 2-hop neighbourhood of
+``v_i``.  DCFastQC exploits that:
+
+1. reduce the graph to its ``ceil(gamma * (theta - 1))``-core (every large QC
+   survives the reduction),
+2. compute a degeneracy ordering ``<v_1, ..., v_n>``,
+3. for each ``v_i`` build ``V_i = Γ2(v_i, V) - {v_1, ..., v_{i-1}}``
+   (Equation 19), shrink it with one-hop and two-hop pruning for
+   ``MAX_ROUND`` rounds, and
+4. run FastQC from the branch ``(S = {v_i}, C = V_i - {v_i}, D = {v_1..v_{i-1}})``.
+
+Every MQC is found in exactly one subproblem (the one rooted at its
+lowest-ordered vertex).  The ``framework`` parameter also provides the paper's
+BDCFastQC ablation (the basic divide-and-conquer of [19, 24]: degree ordering
+and one-hop shrinking only) and plain FastQC (no decomposition) for Figure 12.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from ..graph.graph import Graph, VertexLabel, iter_bits
+from ..graph.core_decomposition import degeneracy_ordering, k_core_vertices
+from ..graph.subgraph import two_hop_mask
+from ..quasiclique.definitions import degree_threshold, tau, validate_parameters
+from .branch import Branch
+from .branching import BRANCHING_METHODS
+from .fastqc import FastQC
+from .stats import SearchStatistics
+
+#: Supported divide-and-conquer frameworks (Figure 12 ablation).
+DC_FRAMEWORKS = ("dc", "basic-dc", "none")
+
+#: Default number of shrinking rounds (the paper finds MAX_ROUND = 2 sufficient).
+DEFAULT_MAX_ROUNDS = 2
+
+
+@dataclass
+class SubproblemRecord:
+    """Size bookkeeping for one divide-and-conquer subproblem (ablation data)."""
+
+    root: VertexLabel
+    initial_size: int
+    refined_size: int
+
+
+@dataclass
+class DCStatistics:
+    """Statistics specific to the divide-and-conquer layer."""
+
+    core_reduction_kept: int = 0
+    core_reduction_removed: int = 0
+    subproblem_records: list[SubproblemRecord] = field(default_factory=list)
+
+    def reduction_ratio(self) -> float:
+        """Average refined-subproblem size divided by the original graph size."""
+        total = self.core_reduction_kept + self.core_reduction_removed
+        if total == 0 or not self.subproblem_records:
+            return 0.0
+        average = sum(r.refined_size for r in self.subproblem_records) / len(self.subproblem_records)
+        return average / total
+
+
+def two_hop_pruning_threshold(gamma: float, theta: int, max_size: int) -> int:
+    """Return the common-neighbour threshold ``f`` used by the two-hop pruning rule.
+
+    For adjacent ``u`` and ``v_i`` inside a QC ``H`` with ``|H| = h`` the number
+    of common neighbours within ``H`` is at least ``h - 2 * tau(h)``; for
+    non-adjacent pairs it is at least ``h - 2 * tau(h) + 2``.  Since only
+    ``theta <= h <= max_size`` matters, the provably safe threshold is the
+    minimum of ``h - 2 * tau(h)`` over that range (which coincides with the
+    paper's closed form ``theta - tau(theta) - tau(theta + 1)`` in practice).
+    """
+    if max_size < theta:
+        return 0
+    return min(h - 2 * tau(h, gamma) for h in range(theta, max_size + 1))
+
+
+class DCFastQC:
+    """Divide-and-conquer MQCE-S1 enumerator built on top of :class:`FastQC`.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    gamma, theta:
+        The MQCE parameters (gamma in [0.5, 1], theta >= 1).
+    branching:
+        Branching method passed to the underlying FastQC engine
+        (``"hybrid"``, ``"sym-se"`` or ``"se"``).
+    framework:
+        ``"dc"`` (paper's framework: degeneracy ordering, one-hop + two-hop
+        shrinking), ``"basic-dc"`` (BDCFastQC: degree ordering, one-hop
+        shrinking only) or ``"none"`` (run FastQC on the whole graph).
+    max_rounds:
+        Number of shrinking rounds applied to each subproblem (MAX_ROUND).
+    maximality_filter:
+        Forwarded to FastQC; filters outputs by the necessary condition of
+        maximality.
+    """
+
+    def __init__(self, graph: Graph, gamma: float, theta: int,
+                 branching: str = "hybrid", framework: str = "dc",
+                 max_rounds: int = DEFAULT_MAX_ROUNDS,
+                 maximality_filter: bool = True,
+                 on_output: Callable[[frozenset], None] | None = None) -> None:
+        validate_parameters(gamma, theta)
+        if branching not in BRANCHING_METHODS:
+            raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
+        if framework not in DC_FRAMEWORKS:
+            raise ValueError(f"framework must be one of {DC_FRAMEWORKS}, got {framework!r}")
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        self.graph = graph
+        self.gamma = gamma
+        self.theta = theta
+        self.branching = branching
+        self.framework = framework
+        self.max_rounds = max_rounds
+        self.maximality_filter = maximality_filter
+        self.on_output = on_output
+        self.statistics = SearchStatistics()
+        self.dc_statistics = DCStatistics()
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def enumerate(self) -> list[frozenset]:
+        """Enumerate a set of QCs containing every MQC of size >= theta (MQCE-S1)."""
+        engine = FastQC(self.graph, self.gamma, self.theta, branching=self.branching,
+                        maximality_filter=self.maximality_filter, on_output=self.on_output)
+        if self.framework == "none":
+            results = engine.enumerate()
+            self.statistics = engine.statistics
+            return results
+
+        core_mask = self._core_reduction_mask()
+        ordering = self._vertex_ordering(core_mask)
+        prior_mask = 0
+        for root in ordering:
+            root_index = self.graph.index_of(root)
+            remaining = core_mask & ~prior_mask
+            subproblem_mask = two_hop_mask(self.graph, root_index, remaining)
+            initial_size = subproblem_mask.bit_count()
+            refined_mask = self._shrink_subproblem(root_index, subproblem_mask)
+            self.dc_statistics.subproblem_records.append(SubproblemRecord(
+                root=root, initial_size=initial_size,
+                refined_size=refined_mask.bit_count()))
+            prior_mask |= 1 << root_index
+            if refined_mask.bit_count() < self.theta or not (refined_mask >> root_index) & 1:
+                continue
+            branch = Branch(
+                1 << root_index,
+                refined_mask & ~(1 << root_index),
+                prior_mask & ~(1 << root_index),
+            )
+            engine.enumerate_branch(branch)
+        self.statistics = engine.statistics
+        return engine.results
+
+    # ------------------------------------------------------------------
+    # Divide-and-conquer internals
+    # ------------------------------------------------------------------
+    def _core_reduction_mask(self) -> int:
+        """Line 1 of Algorithm 3: keep only the ``ceil(gamma*(theta-1))``-core."""
+        core_order = degree_threshold(self.gamma, self.theta)
+        kept = k_core_vertices(self.graph, core_order)
+        self.dc_statistics.core_reduction_kept = len(kept)
+        self.dc_statistics.core_reduction_removed = self.graph.vertex_count - len(kept)
+        return self.graph.mask_of(kept)
+
+    def _vertex_ordering(self, core_mask: int) -> list[VertexLabel]:
+        """Line 2 of Algorithm 3: degeneracy ordering ("dc") or degree ordering ("basic-dc")."""
+        kept_labels = self.graph.labels_of_mask(core_mask)
+        if not kept_labels:
+            return []
+        if self.framework == "basic-dc":
+            return sorted(kept_labels, key=lambda v: (self.graph.degree(v), self.graph.index_of(v)))
+        reduced = self.graph.induced_subgraph(kept_labels)
+        return degeneracy_ordering(reduced)
+
+    def _shrink_subproblem(self, root_index: int, subproblem_mask: int) -> int:
+        """Lines 5-6 of Algorithm 3: one-hop and two-hop pruning for MAX_ROUND rounds."""
+        use_two_hop = self.framework == "dc"
+        required_degree = degree_threshold(self.gamma, self.theta)
+        current = subproblem_mask
+        for _ in range(self.max_rounds):
+            before = current
+            current = self._one_hop_prune(root_index, current, required_degree)
+            if use_two_hop:
+                current = self._two_hop_prune(root_index, current)
+            if current == before:
+                break
+        return current
+
+    def _one_hop_prune(self, root_index: int, mask: int, required_degree: int) -> int:
+        """Remove ``u != root`` with fewer than ``ceil(gamma*(theta-1))`` neighbours in V_i."""
+        new_mask = mask
+        for u in iter_bits(mask):
+            if u == root_index:
+                continue
+            if (self.graph.adjacency_mask(u) & mask).bit_count() < required_degree:
+                new_mask &= ~(1 << u)
+        return new_mask
+
+    def _two_hop_prune(self, root_index: int, mask: int) -> int:
+        """Remove ``u != root`` with too few common neighbours with the root in V_i."""
+        threshold = two_hop_pruning_threshold(self.gamma, self.theta, mask.bit_count())
+        root_adjacency = self.graph.adjacency_mask(root_index) & mask
+        new_mask = mask
+        for u in iter_bits(mask):
+            if u == root_index:
+                continue
+            common = (root_adjacency & self.graph.adjacency_mask(u) & mask).bit_count()
+            if (root_adjacency >> u) & 1:
+                if common < threshold:
+                    new_mask &= ~(1 << u)
+            else:
+                if common < threshold + 2:
+                    new_mask &= ~(1 << u)
+        return new_mask
+
+
+def dcfastqc_enumerate(graph: Graph, gamma: float, theta: int,
+                       branching: str = "hybrid", framework: str = "dc",
+                       max_rounds: int = DEFAULT_MAX_ROUNDS) -> list[frozenset]:
+    """Functional convenience wrapper around :class:`DCFastQC`."""
+    return DCFastQC(graph, gamma, theta, branching=branching, framework=framework,
+                    max_rounds=max_rounds).enumerate()

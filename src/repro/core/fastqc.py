@@ -1,0 +1,212 @@
+"""FastQC (Algorithm 2): the paper's new branch-and-bound algorithm for MQCE-S1.
+
+FastQC finds a set of gamma-quasi-cliques that contains every maximal
+gamma-quasi-clique of size at least theta.  Compared with Quick+ it
+
+1. progressively refines each branch with Refinement Rules 1 and 2 and
+   re-checks the SD-space necessary condition C1&2 (Section 4.2),
+2. terminates a branch early when the whole branch is a QC (condition T1) or
+   when the size threshold cannot be met (condition T2), and
+3. branches with the Hybrid-SE / Sym-SE methods driven by a pivot vertex
+   (Sections 4.3–4.4), which yields the ``O(n * d * alpha_k^n)`` bound of
+   Theorem 1.
+
+The implementation works on bitmask branches over the input graph and never
+materialises subgraphs, so the same engine serves both the standalone FastQC
+entry point and the DCFastQC divide-and-conquer driver (which seeds it with a
+restricted branch per subproblem).
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable, Iterable
+
+from ..graph.graph import Graph, VertexLabel, iter_bits
+from ..quasiclique.definitions import validate_parameters
+from ..quasiclique.maximality import satisfies_maximality_necessary_condition
+from .branch import Branch, max_disconnections_in_union
+from .branching import BRANCHING_METHODS, generate_branches, select_pivot
+from .refinement import progressively_refine
+from .stats import SearchStatistics
+
+
+class FastQC:
+    """Branch-and-bound enumerator for the MQCE-S1 problem.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    gamma:
+        Degree fraction threshold, in ``[0.5, 1]``.
+    theta:
+        Minimum size of the quasi-cliques of interest (positive integer).
+    branching:
+        ``"hybrid"`` (paper default: Hybrid-SE when applicable, Sym-SE
+        otherwise), ``"sym-se"`` or ``"se"``.
+    maximality_filter:
+        When True (default), outputs must pass the polynomial necessary
+        condition of maximality, which discards many non-maximal QCs without
+        ever discarding a maximal one.
+    on_output:
+        Optional callback invoked with each output vertex set (as a frozenset
+        of labels) as it is found.
+    """
+
+    def __init__(self, graph: Graph, gamma: float, theta: int,
+                 branching: str = "hybrid", maximality_filter: bool = True,
+                 on_output: Callable[[frozenset], None] | None = None) -> None:
+        validate_parameters(gamma, theta)
+        if branching not in BRANCHING_METHODS:
+            raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
+        self.graph = graph
+        self.gamma = gamma
+        self.theta = theta
+        self.branching = branching
+        self.maximality_filter = maximality_filter
+        self.on_output = on_output
+        self.statistics = SearchStatistics()
+        self._results: list[frozenset] = []
+        self._seen_masks: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def enumerate(self) -> list[frozenset]:
+        """Run FastQC on the whole graph: ``FastQC-Rec(∅, V, ∅)``.
+
+        Returns the found QCs as frozensets of vertex labels.  The result is a
+        superset of all maximal gamma-QCs of size >= theta (MQCE-S1); pass it
+        to :func:`repro.settrie.filter_non_maximal` to obtain the MQCs.
+        """
+        return self.enumerate_branch(Branch.initial(self.graph))
+
+    def enumerate_from(self, partial: Iterable[VertexLabel],
+                       candidates: Iterable[VertexLabel],
+                       excluded: Iterable[VertexLabel] = ()) -> list[frozenset]:
+        """Run FastQC on an explicit starting branch given by vertex labels."""
+        branch = Branch(
+            self.graph.mask_of(partial),
+            self.graph.mask_of(candidates),
+            self.graph.mask_of(excluded),
+        )
+        return self.enumerate_branch(branch)
+
+    def enumerate_branch(self, branch: Branch) -> list[frozenset]:
+        """Run FastQC starting from a prepared bitmask branch."""
+        self.statistics.subproblems += 1
+        self.statistics.subproblem_sizes.append(branch.union_size)
+        depth_needed = branch.union_size + 100
+        previous_limit = sys.getrecursionlimit()
+        if previous_limit < depth_needed + 1000:
+            sys.setrecursionlimit(depth_needed + 1000)
+        try:
+            start = len(self._results)
+            self._recurse(branch)
+            return self._results[start:]
+        finally:
+            sys.setrecursionlimit(previous_limit)
+
+    @property
+    def results(self) -> list[frozenset]:
+        """All outputs produced so far (across every call on this instance)."""
+        return list(self._results)
+
+    # ------------------------------------------------------------------
+    # Recursive core (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _recurse(self, branch: Branch) -> bool:
+        """Return True iff a QC was output in this branch or any sub-branch."""
+        self.statistics.branches_explored += 1
+
+        # Lines 3-7: progressive refinement and necessary-condition checking.
+        outcome = progressively_refine(self.graph, branch, self.gamma, self.theta)
+        self.statistics.candidates_removed_by_refinement += (
+            outcome.removed_by_rule1 + outcome.removed_by_rule2)
+        if outcome.pruned:
+            self.statistics.branches_pruned_by_condition += 1
+            return False
+        branch = outcome.branch
+        tau_value = outcome.tau_value
+
+        # Lines 8-10: termination T1 -- the whole branch is a quasi-clique.
+        if max_disconnections_in_union(self.graph, branch) <= tau_value:
+            self.statistics.branches_terminated_t1 += 1
+            if branch.union_mask:
+                return self._emit(branch.union_mask)
+            return False
+
+        # Line 11: termination T2 -- the size threshold cannot be met.
+        if self._terminates_by_theta(branch, tau_value):
+            self.statistics.branches_terminated_t2 += 1
+            return False
+
+        # Lines 12-18: pivot selection and branching.
+        pivot = select_pivot(self.graph, branch, tau_value)
+        if pivot is None:  # pragma: no cover - excluded by the T1 check above
+            return self._emit(branch.union_mask)
+        children = generate_branches(self.graph, branch, pivot, self.branching)
+
+        # Lines 19-25: recurse, and output G[S] when no sub-branch found a QC.
+        found_any = False
+        for child in children:
+            if self._recurse(child):
+                found_any = True
+        if found_any:
+            return True
+        if branch.s_mask and self._is_quasi_clique_mask(branch.s_mask):
+            return self._emit(branch.s_mask)
+        return False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _terminates_by_theta(self, branch: Branch, tau_value: int) -> bool:
+        """Termination condition T2 (Section 4.5)."""
+        if branch.union_size < self.theta:
+            return True
+        required = self.theta - tau_value
+        if required <= 0:
+            return False
+        union = branch.union_mask
+        for vertex in iter_bits(branch.s_mask):
+            if (self.graph.adjacency_mask(vertex) & union).bit_count() < required:
+                return True
+        return False
+
+    def _is_quasi_clique_mask(self, subset_mask: int) -> bool:
+        """Lemma 1 check on a bitmask (valid because gamma >= 0.5)."""
+        from ..quasiclique.definitions import mask_is_quasi_clique
+
+        return mask_is_quasi_clique(self.graph, subset_mask, self.gamma)
+
+    def _emit(self, subset_mask: int) -> bool:
+        """Record an output set; returns True iff a QC was actually reported.
+
+        Following Algorithm 2 the return value of the *branch* is True whenever
+        the branch holds a QC, even when the output itself is suppressed by the
+        size threshold or the maximality necessary condition (the suppressed
+        set still proves that every subset-branch output would be non-maximal).
+        """
+        labels = self.graph.labels_of_mask(subset_mask)
+        size_ok = subset_mask.bit_count() >= self.theta
+        if size_ok and self.maximality_filter:
+            if not satisfies_maximality_necessary_condition(self.graph, labels, self.gamma):
+                self.statistics.outputs_suppressed_by_maximality += 1
+                return True
+        if size_ok and subset_mask not in self._seen_masks:
+            self._seen_masks.add(subset_mask)
+            self._results.append(labels)
+            self.statistics.outputs += 1
+            if self.on_output is not None:
+                self.on_output(labels)
+        return True
+
+
+def fastqc_enumerate(graph: Graph, gamma: float, theta: int,
+                     branching: str = "hybrid",
+                     maximality_filter: bool = True) -> list[frozenset]:
+    """Functional convenience wrapper around :class:`FastQC`."""
+    return FastQC(graph, gamma, theta, branching=branching,
+                  maximality_filter=maximality_filter).enumerate()

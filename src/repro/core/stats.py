@@ -1,0 +1,49 @@
+"""Search statistics shared by all branch-and-bound algorithms.
+
+Branch counts are machine- and language-independent, so the experiment harness
+reports them next to wall-clock times: they are the quantity the paper's
+theoretical analysis actually bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+
+@dataclass
+class SearchStatistics:
+    """Counters accumulated during one enumeration run."""
+
+    branches_explored: int = 0
+    branches_pruned_by_condition: int = 0
+    branches_pruned_by_type2: int = 0
+    branches_terminated_t1: int = 0
+    branches_terminated_t2: int = 0
+    candidates_removed_by_refinement: int = 0
+    candidates_removed_by_type1: int = 0
+    outputs: int = 0
+    outputs_suppressed_by_maximality: int = 0
+    subproblems: int = 0
+    subproblem_sizes: list[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["max_subproblem_size"] = max(self.subproblem_sizes, default=0)
+        data["avg_subproblem_size"] = (
+            sum(self.subproblem_sizes) / len(self.subproblem_sizes)
+            if self.subproblem_sizes else 0.0)
+        return data
+
+    def merge(self, other: "SearchStatistics") -> None:
+        """Accumulate another run's counters into this one (used by the DC driver)."""
+        self.branches_explored += other.branches_explored
+        self.branches_pruned_by_condition += other.branches_pruned_by_condition
+        self.branches_pruned_by_type2 += other.branches_pruned_by_type2
+        self.branches_terminated_t1 += other.branches_terminated_t1
+        self.branches_terminated_t2 += other.branches_terminated_t2
+        self.candidates_removed_by_refinement += other.candidates_removed_by_refinement
+        self.candidates_removed_by_type1 += other.candidates_removed_by_type1
+        self.outputs += other.outputs
+        self.outputs_suppressed_by_maximality += other.outputs_suppressed_by_maximality
+        self.subproblems += other.subproblems
+        self.subproblem_sizes.extend(other.subproblem_sizes)

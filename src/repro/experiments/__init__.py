@@ -1,0 +1,62 @@
+"""Experiment harness and the per-table / per-figure reproduction drivers."""
+
+from .harness import (
+    compare_algorithms,
+    format_table,
+    run_algorithm,
+    speedup_over_baseline,
+    sweep_parameter,
+)
+from .tables import table1_row, table1_rows
+from .report import (
+    ascii_bar_chart,
+    markdown_table,
+    render_figure,
+    series_chart,
+    speedup_summary,
+)
+from .figures import (
+    codesign_ablation_rows,
+    dc_reduction_rows,
+    default_gamma_values,
+    default_theta_values,
+    figure7_rows,
+    figure8_rows,
+    figure9_rows,
+    figure10a_rows,
+    figure10b_rows,
+    figure11_rows,
+    figure12_rows,
+    max_round_rows,
+    settrie_filtering_rows,
+    synthetic_default_graph,
+)
+
+__all__ = [
+    "compare_algorithms",
+    "format_table",
+    "run_algorithm",
+    "speedup_over_baseline",
+    "sweep_parameter",
+    "table1_row",
+    "table1_rows",
+    "codesign_ablation_rows",
+    "dc_reduction_rows",
+    "default_gamma_values",
+    "default_theta_values",
+    "figure7_rows",
+    "figure8_rows",
+    "figure9_rows",
+    "figure10a_rows",
+    "figure10b_rows",
+    "figure11_rows",
+    "figure12_rows",
+    "max_round_rows",
+    "settrie_filtering_rows",
+    "synthetic_default_graph",
+    "ascii_bar_chart",
+    "markdown_table",
+    "render_figure",
+    "series_chart",
+    "speedup_summary",
+]

@@ -1,0 +1,263 @@
+"""Reproduction of the paper's Figures 7–12 and the ablation experiments.
+
+Each function returns a list of rows (dictionaries) carrying the same series
+the paper plots: which algorithm / variant, which dataset or parameter value,
+the running time and — because wall-clock seconds of a pure-Python engine are
+not comparable with the paper's C++ numbers — the explored-branch counts.  The
+*shape* of the results (who wins, how speedups move with gamma / theta /
+density) is what is reproduced; EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from ..core.dcfastqc import DCFastQC
+from ..datasets.registry import DEFAULT_FIGURE_DATASETS, REGISTRY, get_spec
+from ..graph.generators import erdos_renyi_by_density
+from ..graph.graph import Graph
+from .harness import compare_algorithms, run_algorithm, sweep_parameter
+
+
+# ----------------------------------------------------------------------
+# Figure 7: all datasets at their default settings
+# ----------------------------------------------------------------------
+def figure7_rows(names: Sequence[str] | None = None,
+                 algorithms: Sequence[str] = ("dcfastqc", "quickplus")) -> list[dict]:
+    """Running time of DCFastQC vs Quick+ on every dataset analogue (defaults)."""
+    if names is None:
+        names = list(REGISTRY)
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        for row in compare_algorithms(graph, spec.default_gamma, spec.default_theta,
+                                      algorithms=algorithms):
+            row["dataset"] = name
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 8 and 9: gamma and theta sweeps on the default datasets
+# ----------------------------------------------------------------------
+def default_gamma_values(name: str) -> list[float]:
+    """Gamma sweep values for a dataset: its default and a few values around it."""
+    gamma = get_spec(name).default_gamma
+    values = [gamma - 0.05, gamma - 0.025, gamma, min(0.99, gamma + 0.025)]
+    return [round(max(0.5, value), 3) for value in values]
+
+
+def default_theta_values(name: str) -> list[int]:
+    """Theta sweep values for a dataset: its default and a few values around it."""
+    theta = get_spec(name).default_theta
+    return [max(2, theta - 2), max(2, theta - 1), theta, theta + 1]
+
+
+def figure8_rows(names: Sequence[str] = DEFAULT_FIGURE_DATASETS,
+                 algorithms: Sequence[str] = ("dcfastqc", "quickplus"),
+                 gamma_values: Sequence[float] | None = None) -> list[dict]:
+    """Running time while varying gamma (Figure 8)."""
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        values = gamma_values if gamma_values is not None else default_gamma_values(name)
+        for row in sweep_parameter(graph, "gamma", values, spec.default_gamma,
+                                   spec.default_theta, algorithms=algorithms):
+            row["dataset"] = name
+            rows.append(row)
+    return rows
+
+
+def figure9_rows(names: Sequence[str] = DEFAULT_FIGURE_DATASETS,
+                 algorithms: Sequence[str] = ("dcfastqc", "quickplus"),
+                 theta_values: Sequence[int] | None = None) -> list[dict]:
+    """Running time while varying theta (Figure 9)."""
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        values = theta_values if theta_values is not None else default_theta_values(name)
+        for row in sweep_parameter(graph, "theta", values, spec.default_gamma,
+                                   spec.default_theta, algorithms=algorithms):
+            row["dataset"] = name
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10: synthetic Erdos–Renyi scalability
+# ----------------------------------------------------------------------
+def figure10a_rows(vertex_counts: Sequence[int] = (100, 200, 400, 800),
+                   edge_density: float = 8.0, gamma: float = 0.9, theta: int = 6,
+                   algorithms: Sequence[str] = ("dcfastqc", "quickplus"),
+                   seed: int = 2024) -> list[dict]:
+    """Running time while varying the number of vertices (Figure 10a)."""
+    rows = []
+    for vertex_count in vertex_counts:
+        graph = erdos_renyi_by_density(vertex_count, edge_density, seed=seed + vertex_count)
+        for row in compare_algorithms(graph, gamma, theta, algorithms=algorithms):
+            row["vertex_count"] = vertex_count
+            row["edge_density"] = edge_density
+            rows.append(row)
+    return rows
+
+
+def figure10b_rows(edge_densities: Sequence[float] = (4.0, 8.0, 12.0, 16.0),
+                   vertex_count: int = 300, gamma: float = 0.9, theta: int = 6,
+                   algorithms: Sequence[str] = ("dcfastqc", "quickplus"),
+                   seed: int = 2025) -> list[dict]:
+    """Running time while varying the edge density (Figure 10b)."""
+    rows = []
+    for density in edge_densities:
+        graph = erdos_renyi_by_density(vertex_count, density, seed=seed + int(density * 10))
+        for row in compare_algorithms(graph, gamma, theta, algorithms=algorithms):
+            row["vertex_count"] = vertex_count
+            row["edge_density"] = density
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11: branching-strategy ablation (Hybrid-SE vs Sym-SE vs SE)
+# ----------------------------------------------------------------------
+def figure11_rows(names: Sequence[str] = ("enron", "hyves"),
+                  branchings: Sequence[str] = ("hybrid", "sym-se", "se"),
+                  vary: str = "gamma") -> list[dict]:
+    """Running time of DCFastQC with different branching strategies (Figure 11)."""
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        values = (default_gamma_values(name) if vary == "gamma"
+                  else default_theta_values(name))
+        for value in values:
+            gamma = value if vary == "gamma" else spec.default_gamma
+            theta = value if vary == "theta" else spec.default_theta
+            for branching in branchings:
+                row = run_algorithm(graph, gamma, theta, "dcfastqc", branching=branching)
+                row.update({"dataset": name, "branching": branching,
+                            "swept_parameter": vary, "swept_value": value})
+                rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12: divide-and-conquer framework ablation
+# ----------------------------------------------------------------------
+def figure12_rows(names: Sequence[str] = ("enron", "hyves"),
+                  frameworks: Sequence[tuple[str, str]] = (
+                      ("DCFastQC", "dc"), ("BDCFastQC", "basic-dc"), ("FastQC", "none")),
+                  vary: str = "gamma") -> list[dict]:
+    """Running time of the DC frameworks: DCFastQC vs BDCFastQC vs FastQC (Figure 12)."""
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        values = (default_gamma_values(name) if vary == "gamma"
+                  else default_theta_values(name))
+        for value in values:
+            gamma = value if vary == "gamma" else spec.default_gamma
+            theta = value if vary == "theta" else spec.default_theta
+            for label, framework in frameworks:
+                row = run_algorithm(graph, gamma, theta, "dcfastqc", framework=framework)
+                row.update({"dataset": name, "variant": label,
+                            "swept_parameter": vary, "swept_value": value})
+                rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# "Other experiments": ablations reported in Section 6.2
+# ----------------------------------------------------------------------
+def codesign_ablation_rows(names: Sequence[str] = ("enron",),
+                           ) -> list[dict]:
+    """Old pruning + new branching vs the full co-design (ablation 1).
+
+    Runs Quick+ with SE / Sym-SE / Hybrid-SE branching next to DCFastQC to show
+    that the new branching only pays off together with the new pruning rules.
+    """
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        gamma, theta = spec.default_gamma, spec.default_theta
+        for branching in ("se", "sym-se", "hybrid"):
+            row = run_algorithm(graph, gamma, theta, "quickplus", branching=branching)
+            row.update({"dataset": name, "variant": f"quickplus+{branching}"})
+            rows.append(row)
+        row = run_algorithm(graph, gamma, theta, "dcfastqc", branching="hybrid")
+        row.update({"dataset": name, "variant": "dcfastqc+hybrid"})
+        rows.append(row)
+    return rows
+
+
+def dc_reduction_rows(names: Sequence[str] | None = None) -> list[dict]:
+    """Effect of the DC framework on subgraph size (ablation 2)."""
+    if names is None:
+        names = list(DEFAULT_FIGURE_DATASETS)
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        enumerator = DCFastQC(graph, spec.default_gamma, spec.default_theta)
+        start = time.perf_counter()
+        enumerator.enumerate()
+        elapsed = time.perf_counter() - start
+        records = enumerator.dc_statistics.subproblem_records
+        refined_sizes = [record.refined_size for record in records]
+        initial_sizes = [record.initial_size for record in records]
+        rows.append({
+            "dataset": name,
+            "vertices": graph.vertex_count,
+            "subproblems": len(records),
+            "avg_initial_size": sum(initial_sizes) / len(initial_sizes) if records else 0.0,
+            "avg_refined_size": sum(refined_sizes) / len(refined_sizes) if records else 0.0,
+            "max_refined_size": max(refined_sizes, default=0),
+            "reduction_ratio": enumerator.dc_statistics.reduction_ratio(),
+            "enumeration_seconds": elapsed,
+        })
+    return rows
+
+
+def max_round_rows(names: Sequence[str] = ("enron", "hyves"),
+                   rounds: Sequence[int] = (1, 2, 3, 4)) -> list[dict]:
+    """Effect of MAX_ROUND on DCFastQC (ablation 3)."""
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        for max_rounds in rounds:
+            row = run_algorithm(graph, spec.default_gamma, spec.default_theta,
+                                "dcfastqc", max_rounds=max_rounds)
+            row.update({"dataset": name, "max_rounds": max_rounds})
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 2.2: MQCE-S2 post-processing cost
+# ----------------------------------------------------------------------
+def settrie_filtering_rows(names: Sequence[str] | None = None) -> list[dict]:
+    """Time spent in the set-trie filter compared with the enumeration time."""
+    if names is None:
+        names = list(DEFAULT_FIGURE_DATASETS)
+    rows = []
+    for name in names:
+        spec = get_spec(name)
+        graph = spec.build()
+        row = run_algorithm(graph, spec.default_gamma, spec.default_theta, "dcfastqc",
+                            include_filtering=True)
+        row["dataset"] = name
+        row["filtering_fraction"] = (
+            row["filtering_seconds"] / row["enumeration_seconds"]
+            if row["enumeration_seconds"] > 0 else 0.0)
+        rows.append(row)
+    return rows
+
+
+def synthetic_default_graph(seed: int = 7) -> Graph:
+    """The default synthetic graph of Section 6 (scaled down from 100k vertices)."""
+    return erdos_renyi_by_density(400, 20.0, seed=seed)

@@ -1,0 +1,112 @@
+"""Experiment harness: timed runs, algorithm comparisons and parameter sweeps.
+
+The harness produces plain dictionaries ("rows") so the benchmark targets can
+both print paper-style tables and feed pytest-benchmark.  Wall-clock seconds
+are machine-dependent; the rows therefore also carry the explored-branch
+counts, which are the quantity the paper's analysis actually bounds.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from ..graph.graph import Graph
+from ..pipeline.mqce import build_enumerator
+from ..settrie.filter import filter_non_maximal
+
+
+def run_algorithm(graph: Graph, gamma: float, theta: int, algorithm: str,
+                  include_filtering: bool = True, **kwargs) -> dict:
+    """Run one MQCE-S1 algorithm (plus optional MQCE-S2 filter) and return a row."""
+    enumerator = build_enumerator(graph, gamma, theta, algorithm=algorithm, **kwargs)
+    start = time.perf_counter()
+    candidates = enumerator.enumerate()
+    enumeration_seconds = time.perf_counter() - start
+    filtering_seconds = 0.0
+    maximal: list[frozenset] = []
+    if include_filtering:
+        start = time.perf_counter()
+        maximal = filter_non_maximal(candidates, theta=theta)
+        filtering_seconds = time.perf_counter() - start
+    statistics = enumerator.statistics
+    return {
+        "algorithm": algorithm,
+        "gamma": gamma,
+        "theta": theta,
+        "vertices": graph.vertex_count,
+        "edges": graph.edge_count,
+        "candidate_count": len(candidates),
+        "maximal_count": len(maximal),
+        "enumeration_seconds": enumeration_seconds,
+        "filtering_seconds": filtering_seconds,
+        "branches_explored": statistics.branches_explored,
+        "branches_pruned": (statistics.branches_pruned_by_condition
+                            + statistics.branches_pruned_by_type2),
+        "subproblems": statistics.subproblems,
+        **{f"option_{key}": value for key, value in kwargs.items()},
+    }
+
+
+def compare_algorithms(graph: Graph, gamma: float, theta: int,
+                       algorithms: Sequence[str] = ("dcfastqc", "quickplus"),
+                       **kwargs) -> list[dict]:
+    """Run several algorithms on the same input and return one row per algorithm."""
+    return [run_algorithm(graph, gamma, theta, algorithm, **kwargs)
+            for algorithm in algorithms]
+
+
+def sweep_parameter(graph: Graph, parameter: str, values: Iterable,
+                    gamma: float, theta: int,
+                    algorithms: Sequence[str] = ("dcfastqc", "quickplus"),
+                    **kwargs) -> list[dict]:
+    """Sweep gamma or theta and compare algorithms at every value (Figures 8 and 9)."""
+    if parameter not in ("gamma", "theta"):
+        raise ValueError("parameter must be 'gamma' or 'theta'")
+    rows = []
+    for value in values:
+        swept_gamma = value if parameter == "gamma" else gamma
+        swept_theta = value if parameter == "theta" else theta
+        for algorithm in algorithms:
+            row = run_algorithm(graph, swept_gamma, swept_theta, algorithm, **kwargs)
+            row["swept_parameter"] = parameter
+            row["swept_value"] = value
+            rows.append(row)
+    return rows
+
+
+def speedup_over_baseline(rows: list[dict], subject: str = "dcfastqc",
+                          baseline: str = "quickplus",
+                          key: str = "enumeration_seconds") -> float:
+    """Return ``baseline_time / subject_time`` over matched rows (>1 means subject wins)."""
+    subject_total = sum(r[key] for r in rows if r["algorithm"] == subject)
+    baseline_total = sum(r[key] for r in rows if r["algorithm"] == baseline)
+    if subject_total <= 0:
+        return float("inf")
+    return baseline_total / subject_total
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 float_format: str = "{:.4g}") -> str:
+    """Render rows as a fixed-width text table (the harness's printable output)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: list[list[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    for line_number, cells in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+        if line_number == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

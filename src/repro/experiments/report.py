@@ -1,0 +1,110 @@
+"""Plain-text reporting: ASCII charts and Markdown tables for the experiments.
+
+The paper presents its evaluation as bar/line charts (Figures 7–12); without a
+plotting dependency this module renders the same series as ASCII bar charts and
+Markdown tables, which is what EXPERIMENTS.md and the benchmark output use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def markdown_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
+                   float_format: str = "{:.4g}") -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(column) for column in columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(values: Mapping[str, float], width: int = 50, unit: str = "",
+                    log_scale: bool = False) -> str:
+    """Render a horizontal ASCII bar chart of label -> value.
+
+    With ``log_scale=True`` the bars are proportional to ``log10`` of the
+    values (the paper's running-time figures are log-scale), values <= 0 are
+    drawn as empty bars.
+    """
+    import math
+
+    if not values:
+        return "(no data)"
+    labels = list(values)
+    label_width = max(len(str(label)) for label in labels)
+
+    def transform(value: float) -> float:
+        if log_scale:
+            return math.log10(value) if value > 0 else 0.0
+        return max(0.0, value)
+
+    transformed = {label: transform(value) for label, value in values.items()}
+    low = min(transformed.values())
+    high = max(transformed.values())
+    span = (high - low) or 1.0
+    lines = []
+    for label in labels:
+        value = values[label]
+        if log_scale:
+            filled = int(round(width * (transformed[label] - low + 0.05 * span) / (1.1 * span)))
+        else:
+            filled = int(round(width * transformed[label] / (high or 1.0)))
+        filled = max(0, min(width, filled))
+        bar = "#" * filled
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(rows: Sequence[Mapping], x_key: str, y_key: str, group_key: str,
+                 width: int = 40, unit: str = "s") -> str:
+    """Render grouped series (e.g. per-algorithm times across a sweep) as text.
+
+    Each distinct ``group_key`` value becomes a block, with one bar per
+    ``x_key`` value — a textual rendering of the paper's line charts.
+    """
+    groups: dict = {}
+    for row in rows:
+        groups.setdefault(row[group_key], {})[row[x_key]] = row[y_key]
+    blocks = []
+    for group, values in groups.items():
+        blocks.append(f"[{group_key}={group}]")
+        blocks.append(ascii_bar_chart(values, width=width, unit=unit))
+    return "\n".join(blocks)
+
+
+def speedup_summary(rows: Sequence[Mapping], subject: str = "dcfastqc",
+                    baseline: str = "quickplus", key: str = "enumeration_seconds",
+                    group_key: str = "dataset") -> list[dict]:
+    """Per-group speedup of ``subject`` over ``baseline`` (e.g. per dataset)."""
+    groups: dict = {}
+    for row in rows:
+        groups.setdefault(row.get(group_key, "all"), []).append(row)
+    summary = []
+    for group, group_rows in groups.items():
+        subject_time = sum(r[key] for r in group_rows if r["algorithm"] == subject)
+        baseline_time = sum(r[key] for r in group_rows if r["algorithm"] == baseline)
+        speedup = baseline_time / subject_time if subject_time > 0 else float("inf")
+        summary.append({group_key: group, f"{subject}_{key}": subject_time,
+                        f"{baseline}_{key}": baseline_time, "speedup": speedup})
+    return summary
+
+
+def render_figure(rows: Sequence[Mapping], title: str, x_key: str, y_key: str,
+                  group_key: str) -> str:
+    """Render one paper-style figure: a title, the series chart and a table."""
+    parts = [f"== {title} ==", series_chart(rows, x_key, y_key, group_key),
+             "", markdown_table(rows, columns=[group_key, x_key, y_key])]
+    return "\n".join(parts)

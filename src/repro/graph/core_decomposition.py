@@ -1,0 +1,130 @@
+"""k-core decomposition and degeneracy ordering (Batagelj–Zaversnik, 2003).
+
+DCFastQC (Algorithm 3) needs two pieces of core machinery:
+
+* line 1 reduces the graph to its ``ceil(gamma * (theta - 1))``-core, because
+  every quasi-clique of size >= theta lives inside that core, and
+* line 2 computes a degeneracy ordering, which bounds each divide-and-conquer
+  subgraph by ``O(omega * d)`` vertices.
+
+Both are implemented with the linear-time bucket algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .graph import Graph, VertexLabel
+
+
+def core_numbers(graph: Graph) -> dict[VertexLabel, int]:
+    """Return the core number of every vertex.
+
+    The core number of ``v`` is the largest ``k`` such that ``v`` belongs to
+    the ``k``-core (the maximal subgraph with minimum degree >= k).
+    """
+    order, cores = _degeneracy_order_and_cores(graph)
+    del order
+    return cores
+
+
+def degeneracy(graph: Graph) -> int:
+    """Return the degeneracy ``omega`` of the graph (0 for an empty graph)."""
+    cores = core_numbers(graph)
+    if not cores:
+        return 0
+    return max(cores.values())
+
+
+def degeneracy_ordering(graph: Graph) -> list[VertexLabel]:
+    """Return a degeneracy ordering of the vertices.
+
+    The ordering repeatedly removes a vertex of minimum remaining degree.  It
+    has the property that every vertex has at most ``omega`` neighbours among
+    the vertices that come *after* it in the ordering.
+    """
+    order, cores = _degeneracy_order_and_cores(graph)
+    del cores
+    return order
+
+
+def _degeneracy_order_and_cores(graph: Graph) -> tuple[list[VertexLabel], dict[VertexLabel, int]]:
+    n = graph.vertex_count
+    if n == 0:
+        return [], {}
+    degrees = [len(graph.adjacency_set(i)) for i in range(n)]
+    max_degree = max(degrees)
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for index, degree in enumerate(degrees):
+        buckets[degree].append(index)
+    position_removed = [False] * n
+    current_degree = list(degrees)
+    order_indices: list[int] = []
+    core_of_index = [0] * n
+    current_core = 0
+    pointer = 0
+    removed = 0
+    while removed < n:
+        # Find the non-empty bucket with the smallest degree.
+        while pointer <= max_degree and not buckets[pointer]:
+            pointer += 1
+        vertex = buckets[pointer].pop()
+        if position_removed[vertex] or current_degree[vertex] != pointer:
+            # Stale entry (the vertex's degree changed after it was bucketed).
+            continue
+        position_removed[vertex] = True
+        removed += 1
+        current_core = max(current_core, pointer)
+        core_of_index[vertex] = current_core
+        order_indices.append(vertex)
+        for neighbour in graph.adjacency_set(vertex):
+            if position_removed[neighbour]:
+                continue
+            current_degree[neighbour] -= 1
+            new_degree = current_degree[neighbour]
+            buckets[new_degree].append(neighbour)
+            if new_degree < pointer:
+                pointer = new_degree
+    order = [graph.label_of(i) for i in order_indices]
+    cores = {graph.label_of(i): core_of_index[i] for i in range(n)}
+    return order, cores
+
+
+def k_core(graph: Graph, k: int) -> Graph:
+    """Return the ``k``-core of the graph as a new (possibly empty) graph.
+
+    The ``k``-core is the maximal induced subgraph in which every vertex has
+    degree at least ``k``.  For ``k <= 0`` the graph itself is returned
+    (as a copy).
+    """
+    if k <= 0:
+        return graph.copy()
+    cores = core_numbers(graph)
+    kept = [v for v, core in cores.items() if core >= k]
+    return graph.induced_subgraph(kept)
+
+
+def k_core_vertices(graph: Graph, k: int) -> frozenset[VertexLabel]:
+    """Return the vertex set of the ``k``-core without materialising the subgraph."""
+    if k <= 0:
+        return frozenset(graph.vertices())
+    cores = core_numbers(graph)
+    return frozenset(v for v, core in cores.items() if core >= k)
+
+
+def is_degeneracy_ordering(graph: Graph, ordering: Iterable[VertexLabel]) -> bool:
+    """Check the defining property of a degeneracy ordering.
+
+    Every vertex must have at most ``degeneracy(graph)`` neighbours among the
+    vertices that appear after it in the ordering.
+    """
+    ordering = list(ordering)
+    if set(ordering) != set(graph.vertices()) or len(ordering) != graph.vertex_count:
+        return False
+    omega = degeneracy(graph)
+    position = {v: i for i, v in enumerate(ordering)}
+    for v in ordering:
+        later = sum(1 for u in graph.neighbors(v) if position[u] > position[v])
+        if later > omega:
+            return False
+    return True

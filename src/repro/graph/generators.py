@@ -1,0 +1,183 @@
+"""Random graph generators for the synthetic experiments and the dataset registry.
+
+The paper's synthetic datasets (Section 6, Figure 10) follow the Erdos–Renyi
+model parameterised by vertex count and *edge density* ``|E| / |V|``.  The real
+KONECT datasets cannot be downloaded in this offline environment, so the
+dataset registry (``repro.datasets``) composes the generators below —
+power-law backgrounds plus planted quasi-cliques — into deterministic,
+scaled-down analogues that preserve the structural properties the algorithms
+are sensitive to (sparsity, skewed degrees, locally dense regions).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from .graph import Graph
+
+
+def erdos_renyi_gnm(vertex_count: int, edge_count: int, seed: int | None = None) -> Graph:
+    """Return a G(n, m) random graph with exactly ``edge_count`` distinct edges.
+
+    This matches the paper's synthetic data construction: "we first generate a
+    certain number of vertices and then randomly add a certain number of edges
+    between pairs of vertices".
+    """
+    if vertex_count < 0:
+        raise ValueError("vertex_count must be non-negative")
+    max_edges = vertex_count * (vertex_count - 1) // 2
+    if edge_count > max_edges:
+        raise ValueError(f"edge_count {edge_count} exceeds the maximum {max_edges}")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(vertex_count))
+    existing: set[tuple[int, int]] = set()
+    while len(existing) < edge_count:
+        u = rng.randrange(vertex_count)
+        v = rng.randrange(vertex_count)
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge in existing:
+            continue
+        existing.add(edge)
+        graph.add_edge(*edge)
+    return graph
+
+
+def erdos_renyi_by_density(vertex_count: int, edge_density: float, seed: int | None = None) -> Graph:
+    """Return an ER graph with ``|E| = round(edge_density * |V|)`` edges."""
+    edge_count = int(round(edge_density * vertex_count))
+    return erdos_renyi_gnm(vertex_count, edge_count, seed=seed)
+
+
+def erdos_renyi_gnp(vertex_count: int, probability: float, seed: int | None = None) -> Graph:
+    """Return a G(n, p) random graph (each pair independently an edge)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(vertex_count))
+    for u in range(vertex_count):
+        for v in range(u + 1, vertex_count):
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert(vertex_count: int, attachment: int, seed: int | None = None) -> Graph:
+    """Return a Barabasi–Albert preferential-attachment graph.
+
+    Produces the skewed degree distributions typical of the paper's social and
+    web datasets while keeping the degeneracy small.
+    """
+    if attachment < 1:
+        raise ValueError("attachment must be >= 1")
+    if vertex_count <= attachment:
+        raise ValueError("vertex_count must exceed attachment")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(vertex_count))
+    # Start from a small clique of `attachment + 1` vertices.
+    targets = list(range(attachment + 1))
+    for u in targets:
+        for v in targets:
+            if u < v:
+                graph.add_edge(u, v)
+    repeated: list[int] = []
+    for vertex in targets:
+        repeated.extend([vertex] * attachment)
+    for new_vertex in range(attachment + 1, vertex_count):
+        chosen: set[int] = set()
+        while len(chosen) < attachment:
+            chosen.add(rng.choice(repeated))
+        for target in chosen:
+            graph.add_edge(new_vertex, target)
+            repeated.append(target)
+        repeated.extend([new_vertex] * attachment)
+    return graph
+
+
+def planted_quasi_clique(graph: Graph, members: Sequence, gamma: float,
+                         seed: int | None = None) -> Graph:
+    """Densify ``G[members]`` in place until it is a gamma-quasi-clique.
+
+    Edges are added between the least-connected member and a random
+    non-neighbour member until every member has at least
+    ``ceil(gamma * (|members| - 1))`` neighbours inside the group.  Returns the
+    same graph object for chaining.
+    """
+    import math
+    from fractions import Fraction
+
+    members = list(members)
+    if len(members) < 2:
+        return graph
+    for member in members:
+        if member not in graph:
+            graph.add_vertex(member)
+    rng = random.Random(seed)
+    # Exact rational arithmetic so boundary cases round the same way as the
+    # quasi-clique definition in repro.quasiclique.definitions.
+    required = math.ceil(Fraction(str(gamma)) * (len(members) - 1))
+    member_set = set(members)
+
+    def internal_degree(vertex) -> int:
+        return len(graph.neighbors(vertex) & member_set)
+
+    progress = True
+    while progress:
+        progress = False
+        deficient = [m for m in members if internal_degree(m) < required]
+        if not deficient:
+            break
+        vertex = min(deficient, key=internal_degree)
+        candidates = [m for m in members
+                      if m != vertex and not graph.has_edge(vertex, m)]
+        if not candidates:
+            break
+        graph.add_edge(vertex, rng.choice(candidates))
+        progress = True
+    return graph
+
+
+def planted_quasi_clique_graph(vertex_count: int, background_edges: int,
+                               clique_sizes: Iterable[int], gamma: float,
+                               seed: int | None = None) -> Graph:
+    """Return an ER background graph with several planted gamma-quasi-cliques.
+
+    The planted groups are vertex-disjoint and drawn from the lowest vertex
+    ids, so tests and the dataset registry can reason about where the dense
+    regions are.
+    """
+    rng = random.Random(seed)
+    graph = erdos_renyi_gnm(vertex_count, background_edges, seed=rng.randrange(2**31))
+    next_start = 0
+    for size in clique_sizes:
+        if next_start + size > vertex_count:
+            raise ValueError("planted cliques do not fit in the graph")
+        members = list(range(next_start, next_start + size))
+        planted_quasi_clique(graph, members, gamma, seed=rng.randrange(2**31))
+        next_start += size
+    return graph
+
+
+def random_connected_graph(vertex_count: int, extra_edges: int, seed: int | None = None) -> Graph:
+    """Return a connected random graph: a random spanning tree plus extra edges."""
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(vertex_count))
+    vertices = list(range(vertex_count))
+    rng.shuffle(vertices)
+    for position in range(1, vertex_count):
+        parent = vertices[rng.randrange(position)]
+        graph.add_edge(vertices[position], parent)
+    added = 0
+    attempts = 0
+    max_attempts = 20 * (extra_edges + 1)
+    while added < extra_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(vertex_count)
+        v = rng.randrange(vertex_count)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        added += 1
+    return graph

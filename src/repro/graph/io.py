@@ -1,0 +1,112 @@
+"""Reading and writing edge-list graph files.
+
+The paper's real datasets come from http://konect.cc/ in a whitespace-separated
+edge-list format with optional ``%`` / ``#`` comment lines and optional extra
+columns (weights, timestamps) that are ignored for the unweighted MQCE problem.
+This module reads that format, plus a symmetric writer used by the examples.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+from typing import TextIO, Union
+
+from .graph import Graph, GraphError
+
+PathLike = Union[str, os.PathLike]
+
+_COMMENT_PREFIXES = ("%", "#", "//")
+
+
+def iter_edge_list(lines: Iterable[str], directed_duplicates_ok: bool = True
+                   ) -> Iterator[tuple[str, str]]:
+    """Yield (u, v) label pairs from edge-list lines.
+
+    Comment lines, blank lines and self-loops are skipped; extra columns after
+    the first two are ignored.  Vertex labels are kept as strings.
+    """
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        parts = line.replace(",", " ").split()
+        if len(parts) < 2:
+            raise GraphError(f"line {line_number}: expected at least two columns, got {line!r}")
+        u, v = parts[0], parts[1]
+        if u == v:
+            continue
+        yield u, v
+    if not directed_duplicates_ok:  # pragma: no cover - defensive flag
+        return
+
+
+def read_edge_list(path_or_file: Union[PathLike, TextIO], as_int: bool = True) -> Graph:
+    """Read an edge-list file into a :class:`Graph`.
+
+    Parameters
+    ----------
+    path_or_file:
+        File path or an open text file object.
+    as_int:
+        If true (default), vertex labels that look like integers are converted
+        to ``int`` so they round-trip with the synthetic generators.
+    """
+    if hasattr(path_or_file, "read"):
+        return _read_edge_lines(path_or_file, as_int)
+    with open(path_or_file, "r", encoding="utf-8") as handle:
+        return _read_edge_lines(handle, as_int)
+
+
+def _read_edge_lines(handle: Iterable[str], as_int: bool) -> Graph:
+    graph = Graph()
+    for u, v in iter_edge_list(handle):
+        if as_int:
+            u = _maybe_int(u)
+            v = _maybe_int(v)
+        graph.add_edge(u, v)
+    return graph
+
+
+def _maybe_int(label: str):
+    try:
+        return int(label)
+    except ValueError:
+        return label
+
+
+def write_edge_list(graph: Graph, path_or_file: Union[PathLike, TextIO],
+                    header: str = "") -> None:
+    """Write a graph as a whitespace-separated edge list."""
+    if hasattr(path_or_file, "write"):
+        _write_edge_lines(graph, path_or_file, header)
+        return
+    with open(path_or_file, "w", encoding="utf-8") as handle:
+        _write_edge_lines(graph, handle, header)
+
+
+def _write_edge_lines(graph: Graph, handle: TextIO, header: str) -> None:
+    if header:
+        for line in header.splitlines():
+            handle.write(f"% {line}\n")
+    for u, v in graph.edges():
+        handle.write(f"{u} {v}\n")
+
+
+def read_quasi_cliques(path: PathLike) -> list[frozenset]:
+    """Read one quasi-clique per line (whitespace-separated vertex labels)."""
+    result = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            result.append(frozenset(_maybe_int(token) for token in line.split()))
+    return result
+
+
+def write_quasi_cliques(quasi_cliques: Iterable[frozenset], path: PathLike) -> None:
+    """Write quasi-cliques one per line, vertices sorted for determinism."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for clique in quasi_cliques:
+            handle.write(" ".join(str(v) for v in sorted(clique, key=str)) + "\n")

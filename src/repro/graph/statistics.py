@@ -1,0 +1,60 @@
+"""Graph and result statistics reported in the paper's Table 1."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, asdict
+
+from .core_decomposition import degeneracy
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """The per-dataset columns of Table 1 that describe the input graph."""
+
+    vertex_count: int
+    edge_count: int
+    edge_density: float
+    max_degree: int
+    degeneracy: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class QuasiCliqueStatistics:
+    """The per-dataset columns of Table 1 that describe the enumerated MQCs."""
+
+    count: int
+    min_size: int
+    max_size: int
+    avg_size: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def graph_statistics(graph: Graph) -> GraphStatistics:
+    """Compute |V|, |E|, |E|/|V|, max degree d and degeneracy omega."""
+    return GraphStatistics(
+        vertex_count=graph.vertex_count,
+        edge_count=graph.edge_count,
+        edge_density=graph.density(),
+        max_degree=graph.max_degree(),
+        degeneracy=degeneracy(graph),
+    )
+
+
+def quasi_clique_statistics(quasi_cliques: Iterable[frozenset]) -> QuasiCliqueStatistics:
+    """Compute #, |H_min|, |H_max| and |H_avg| over a collection of vertex sets."""
+    sizes = [len(clique) for clique in quasi_cliques]
+    if not sizes:
+        return QuasiCliqueStatistics(count=0, min_size=0, max_size=0, avg_size=0.0)
+    return QuasiCliqueStatistics(
+        count=len(sizes),
+        min_size=min(sizes),
+        max_size=max(sizes),
+        avg_size=sum(sizes) / len(sizes),
+    )

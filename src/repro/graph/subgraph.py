@@ -1,0 +1,114 @@
+"""Neighbourhood and subgraph helpers used by the divide-and-conquer framework.
+
+DCFastQC (Algorithm 3) builds, for each vertex ``v_i`` in the degeneracy
+ordering, the subgraph induced by the 2-hop neighbourhood of ``v_i`` minus the
+vertices that precede ``v_i`` in the ordering (Equation 19).  These helpers
+compute 1-hop and 2-hop neighbourhoods both in label space and as bitmasks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .graph import Graph, VertexLabel, iter_bits
+
+
+def closed_neighborhood(graph: Graph, vertex: VertexLabel) -> frozenset[VertexLabel]:
+    """Return ``{vertex} ∪ N(vertex)`` as labels."""
+    return graph.neighbors(vertex) | {vertex}
+
+
+def two_hop_neighborhood(graph: Graph, vertex: VertexLabel,
+                         include_center: bool = True) -> frozenset[VertexLabel]:
+    """Return all vertices within distance 2 of ``vertex`` (closed by default).
+
+    This is the paper's ``Γ2(v, V)``: for γ >= 0.5 every quasi-clique has
+    diameter at most 2 (Property 2), so any MQC containing ``vertex`` lives
+    inside this set.
+    """
+    center = graph.index_of(vertex)
+    masks = graph.adjacency_masks()
+    one_hop = masks[center]
+    reach = one_hop
+    for neighbour in iter_bits(one_hop):
+        reach |= masks[neighbour]
+    if include_center:
+        reach |= 1 << center
+    else:
+        reach &= ~(1 << center)
+    return graph.labels_of_mask(reach)
+
+
+def two_hop_mask(graph: Graph, center_index: int, allowed_mask: int) -> int:
+    """Return the bitmask of vertices within distance 2 of ``center_index``.
+
+    Distances are measured inside ``G[allowed_mask]``: only neighbours that are
+    themselves allowed can act as the middle vertex of a 2-hop path.  The
+    center is always included in the result when it is allowed.
+    """
+    masks = graph.adjacency_masks()
+    one_hop = masks[center_index] & allowed_mask
+    reach = one_hop
+    for neighbour in iter_bits(one_hop):
+        reach |= masks[neighbour]
+    reach &= allowed_mask
+    reach |= (1 << center_index) & allowed_mask
+    return reach
+
+
+def induced_subgraph_mask(graph: Graph, mask: int) -> Graph:
+    """Return the induced subgraph over the vertices whose bits are set."""
+    return graph.induced_subgraph(graph.labels_of_mask(mask))
+
+
+def neighborhood_intersection(graph: Graph, u: VertexLabel, v: VertexLabel,
+                              restriction: Iterable[VertexLabel] | None = None
+                              ) -> frozenset[VertexLabel]:
+    """Return the common neighbours of ``u`` and ``v`` (optionally restricted)."""
+    common = graph.neighbors(u) & graph.neighbors(v)
+    if restriction is not None:
+        common &= frozenset(restriction)
+    return common
+
+
+def is_connected(graph: Graph, labels: Iterable[VertexLabel] | None = None) -> bool:
+    """Return True if ``G`` (or ``G[labels]``) is connected; empty graphs count as connected."""
+    if labels is None:
+        allowed = graph.full_mask()
+    else:
+        allowed = graph.mask_of(labels)
+    if allowed == 0:
+        return True
+    masks = graph.adjacency_masks()
+    start = (allowed & -allowed).bit_length() - 1
+    seen = 1 << start
+    frontier = seen
+    while frontier:
+        reach = 0
+        for vertex in iter_bits(frontier):
+            reach |= masks[vertex]
+        reach &= allowed
+        frontier = reach & ~seen
+        seen |= frontier
+    return seen == allowed
+
+
+def connected_components(graph: Graph) -> list[frozenset[VertexLabel]]:
+    """Return the connected components of the graph as label sets."""
+    remaining = graph.full_mask()
+    masks = graph.adjacency_masks()
+    components: list[frozenset[VertexLabel]] = []
+    while remaining:
+        start = (remaining & -remaining).bit_length() - 1
+        seen = 1 << start
+        frontier = seen
+        while frontier:
+            reach = 0
+            for vertex in iter_bits(frontier):
+                reach |= masks[vertex]
+            reach &= remaining
+            frontier = reach & ~seen
+            seen |= frontier
+        components.append(graph.labels_of_mask(seen))
+        remaining &= ~seen
+    return components

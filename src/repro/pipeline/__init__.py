@@ -1,0 +1,17 @@
+"""End-to-end MQCE pipeline (MQCE-S1 + MQCE-S2) and its result objects."""
+
+from .mqce import (
+    ALGORITHMS,
+    build_enumerator,
+    enumerate_candidate_quasi_cliques,
+    find_maximal_quasi_cliques,
+)
+from .results import EnumerationResult
+
+__all__ = [
+    "ALGORITHMS",
+    "build_enumerator",
+    "enumerate_candidate_quasi_cliques",
+    "find_maximal_quasi_cliques",
+    "EnumerationResult",
+]

@@ -1,0 +1,110 @@
+"""End-to-end MQCE pipeline: MQCE-S1 enumeration followed by MQCE-S2 filtering.
+
+This is the library's primary public entry point.  It runs one of the MQCE-S1
+algorithms (DCFastQC by default, FastQC or Quick+ on request), removes
+non-maximal quasi-cliques with the set-trie filter, and returns both the final
+maximal quasi-cliques and the intermediate candidate set together with timing
+and search statistics.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..baselines.naive import NaiveEnumerator
+from ..baselines.quickplus import QuickPlus
+from ..core.dcfastqc import DCFastQC, DEFAULT_MAX_ROUNDS
+from ..core.fastqc import FastQC
+from ..core.stats import SearchStatistics
+from ..graph.graph import Graph
+from ..quasiclique.definitions import validate_parameters
+from ..settrie.filter import filter_non_maximal
+from .results import EnumerationResult
+
+#: Algorithms usable as the MQCE-S1 stage.
+ALGORITHMS = ("dcfastqc", "fastqc", "quickplus", "naive")
+
+
+def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "dcfastqc",
+                     branching: str | None = None, framework: str = "dc",
+                     max_rounds: int = DEFAULT_MAX_ROUNDS,
+                     maximality_filter: bool = True):
+    """Construct (but do not run) the requested MQCE-S1 enumerator.
+
+    ``branching`` defaults to ``"hybrid"`` for FastQC/DCFastQC and ``"se"`` for
+    Quick+, matching the paper's configurations.
+    """
+    validate_parameters(gamma, theta)
+    if algorithm == "dcfastqc":
+        return DCFastQC(graph, gamma, theta, branching=branching or "hybrid",
+                        framework=framework, max_rounds=max_rounds,
+                        maximality_filter=maximality_filter)
+    if algorithm == "fastqc":
+        return FastQC(graph, gamma, theta, branching=branching or "hybrid",
+                      maximality_filter=maximality_filter)
+    if algorithm == "quickplus":
+        return QuickPlus(graph, gamma, theta, branching=branching or "se")
+    if algorithm == "naive":
+        return NaiveEnumerator(graph, gamma, theta)
+    raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+def enumerate_candidate_quasi_cliques(graph: Graph, gamma: float, theta: int,
+                                      algorithm: str = "dcfastqc", **kwargs
+                                      ) -> tuple[list[frozenset], SearchStatistics]:
+    """Solve MQCE-S1 only: return a superset of all large MQCs plus statistics."""
+    enumerator = build_enumerator(graph, gamma, theta, algorithm=algorithm, **kwargs)
+    candidates = enumerator.enumerate()
+    return candidates, enumerator.statistics
+
+
+def find_maximal_quasi_cliques(graph: Graph, gamma: float, theta: int,
+                               algorithm: str = "dcfastqc",
+                               branching: str | None = None, framework: str = "dc",
+                               max_rounds: int = DEFAULT_MAX_ROUNDS,
+                               maximality_filter: bool = True) -> EnumerationResult:
+    """Enumerate every maximal gamma-quasi-clique of size >= theta (full MQCE).
+
+    Parameters
+    ----------
+    graph:
+        Input graph (:class:`repro.graph.Graph`).
+    gamma:
+        Degree fraction threshold in ``[0.5, 1]``.
+    theta:
+        Minimum quasi-clique size (positive integer).
+    algorithm:
+        MQCE-S1 stage: ``"dcfastqc"`` (default), ``"fastqc"``, ``"quickplus"``
+        or ``"naive"``.
+    branching, framework, max_rounds, maximality_filter:
+        Advanced knobs forwarded to the chosen algorithm (see
+        :func:`build_enumerator`).
+
+    Returns
+    -------
+    EnumerationResult
+        With the maximal quasi-cliques, the candidate (pre-filter) set, timing
+        and branch-and-bound statistics.
+    """
+    enumerator = build_enumerator(graph, gamma, theta, algorithm=algorithm,
+                                  branching=branching, framework=framework,
+                                  max_rounds=max_rounds,
+                                  maximality_filter=maximality_filter)
+    start = time.perf_counter()
+    candidates = enumerator.enumerate()
+    enumeration_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    maximal = filter_non_maximal(candidates, theta=theta)
+    filtering_seconds = time.perf_counter() - start
+
+    return EnumerationResult(
+        maximal_quasi_cliques=sorted(maximal, key=lambda h: (-len(h), sorted(map(str, h)))),
+        candidate_quasi_cliques=list(candidates),
+        algorithm=algorithm,
+        gamma=gamma,
+        theta=theta,
+        search_statistics=enumerator.statistics,
+        enumeration_seconds=enumeration_seconds,
+        filtering_seconds=filtering_seconds,
+    )

@@ -1,0 +1,71 @@
+"""Result objects returned by the end-to-end MQCE pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.stats import SearchStatistics
+from ..graph.statistics import QuasiCliqueStatistics, quasi_clique_statistics
+
+
+@dataclass
+class EnumerationResult:
+    """The outcome of one end-to-end maximal quasi-clique enumeration.
+
+    Attributes
+    ----------
+    maximal_quasi_cliques:
+        The final answer: every maximal gamma-quasi-clique of size >= theta,
+        as frozensets of vertex labels.
+    candidate_quasi_cliques:
+        The MQCE-S1 output before the non-maximality filter (what the paper
+        reports as #{DCFastQC} / #{Quick+} in Table 1).
+    algorithm, gamma, theta:
+        The configuration that produced the result.
+    search_statistics:
+        Branch-and-bound counters (branches explored, prunes, outputs, ...).
+    enumeration_seconds / filtering_seconds:
+        Wall-clock time of the MQCE-S1 search and the MQCE-S2 set-trie filter.
+    """
+
+    maximal_quasi_cliques: list[frozenset]
+    candidate_quasi_cliques: list[frozenset]
+    algorithm: str
+    gamma: float
+    theta: int
+    search_statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    enumeration_seconds: float = 0.0
+    filtering_seconds: float = 0.0
+
+    @property
+    def maximal_count(self) -> int:
+        return len(self.maximal_quasi_cliques)
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidate_quasi_cliques)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.enumeration_seconds + self.filtering_seconds
+
+    def size_statistics(self) -> QuasiCliqueStatistics:
+        """Size statistics (|H_min|, |H_max|, |H_avg|) of the maximal QCs (Table 1)."""
+        return quasi_clique_statistics(self.maximal_quasi_cliques)
+
+    def summary(self) -> dict:
+        """A flat dictionary convenient for harness tables and JSON dumps."""
+        sizes = self.size_statistics()
+        return {
+            "algorithm": self.algorithm,
+            "gamma": self.gamma,
+            "theta": self.theta,
+            "maximal_count": self.maximal_count,
+            "candidate_count": self.candidate_count,
+            "min_size": sizes.min_size,
+            "max_size": sizes.max_size,
+            "avg_size": sizes.avg_size,
+            "enumeration_seconds": self.enumeration_seconds,
+            "filtering_seconds": self.filtering_seconds,
+            "branches_explored": self.search_statistics.branches_explored,
+        }

@@ -1,0 +1,58 @@
+"""Brute-force reference enumerators.
+
+These are deliberately simple, obviously-correct implementations used as the
+ground truth in unit and property-based tests, and as the ``naive`` baseline in
+the benchmark ablations.  They enumerate every vertex subset, so they are only
+usable on graphs with roughly 20 vertices or fewer (or with a size cap).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..graph.graph import Graph
+from .definitions import is_quasi_clique
+
+
+def enumerate_all_quasi_cliques(graph: Graph, gamma: float, theta: int = 1,
+                                max_size: int | None = None) -> list[frozenset]:
+    """Enumerate every gamma-quasi-clique with ``theta <= |H| <= max_size``.
+
+    ``max_size`` defaults to the number of vertices.  Exponential; test use only.
+    """
+    vertices = graph.vertices()
+    upper = len(vertices) if max_size is None else min(max_size, len(vertices))
+    result: list[frozenset] = []
+    for size in range(max(theta, 1), upper + 1):
+        for subset in combinations(vertices, size):
+            candidate = frozenset(subset)
+            if is_quasi_clique(graph, candidate, gamma):
+                result.append(candidate)
+    return result
+
+
+def enumerate_maximal_quasi_cliques_bruteforce(graph: Graph, gamma: float, theta: int = 1,
+                                               max_size: int | None = None) -> list[frozenset]:
+    """Enumerate every *maximal* gamma-quasi-clique of size >= theta.
+
+    Maximality is global: a QC of size >= theta is excluded when any strict
+    superset (of any size) is also a QC.  Exponential; test use only.
+    """
+    all_cliques = enumerate_all_quasi_cliques(graph, gamma, theta=1, max_size=max_size)
+    all_set = set(all_cliques)
+    maximal: list[frozenset] = []
+    for clique in all_cliques:
+        if len(clique) < theta:
+            continue
+        if any(clique < other for other in all_set):
+            continue
+        maximal.append(clique)
+    return maximal
+
+
+def is_superset_of_all_maximal(candidate_output: list[frozenset], graph: Graph,
+                               gamma: float, theta: int = 1) -> bool:
+    """Check the MQCE-S1 guarantee: the output contains every large MQC."""
+    expected = enumerate_maximal_quasi_cliques_bruteforce(graph, gamma, theta)
+    produced = set(candidate_output)
+    return all(mqc in produced for mqc in expected)

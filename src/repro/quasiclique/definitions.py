@@ -1,0 +1,185 @@
+"""Definitions from Section 2 of the paper: gamma-quasi-cliques and helpers.
+
+Conventions
+-----------
+Following the paper's Section 4.1 (and its worked example on Figure 1), the
+*disconnection count* ``delta_bar(v, H)`` is the number of vertices of ``H``
+that are **not** adjacent to ``v`` — including ``v`` itself when ``v`` is in
+``H`` (a vertex never has an edge to itself).  With that convention
+
+    delta(v, H) + delta_bar(v, H) == |H|        (for v in H)
+
+and Lemma 1 reads: ``G[H]`` is a gamma-quasi-clique iff
+``Delta(H) <= tau(|H|)`` where ``tau(x) = floor((1 - gamma) * x + gamma)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from fractions import Fraction
+from functools import lru_cache
+
+from ..graph.graph import Graph, VertexLabel, iter_bits
+from ..graph.subgraph import is_connected
+
+#: The paper restricts gamma to [0.5, 1] so that quasi-cliques have diameter <= 2.
+GAMMA_MIN = 0.5
+GAMMA_MAX = 1.0
+
+
+class ParameterError(ValueError):
+    """Raised when gamma or theta are outside the problem's valid ranges."""
+
+
+def validate_parameters(gamma: float, theta: int) -> None:
+    """Validate the MQCE parameters: gamma in [0.5, 1] and theta >= 1."""
+    if not GAMMA_MIN <= gamma <= GAMMA_MAX:
+        raise ParameterError(f"gamma must be in [{GAMMA_MIN}, {GAMMA_MAX}], got {gamma}")
+    if theta < 1 or int(theta) != theta:
+        raise ParameterError(f"theta must be a positive integer, got {theta}")
+
+
+@lru_cache(maxsize=None)
+def gamma_fraction(gamma: float) -> Fraction:
+    """Return ``gamma`` as an exact fraction of its decimal representation.
+
+    Thresholds such as ``ceil(gamma * (|H| - 1))`` sit exactly on integer
+    boundaries for common parameters (e.g. ``gamma = 0.9`` and ``|H| = 11``),
+    where binary floating point rounds the wrong way and would silently change
+    the quasi-clique definition.  All threshold arithmetic therefore goes
+    through exact rationals derived from the decimal value the caller wrote.
+    """
+    if isinstance(gamma, Fraction):
+        return gamma
+    return Fraction(str(gamma))
+
+
+def degree_threshold(gamma: float, size: int) -> int:
+    """Return ``ceil(gamma * (size - 1))``, the minimum internal degree in a QC of that size."""
+    if size <= 1:
+        return 0
+    return math.ceil(gamma_fraction(gamma) * (size - 1))
+
+
+def tau(size, gamma: float) -> int:
+    """Return ``tau(x) = floor((1 - gamma) * x + gamma)`` (Equation 8).
+
+    ``tau`` is the maximum number of disconnections (self included) a vertex
+    may have inside a gamma-quasi-clique with ``x`` vertices.  The argument may
+    be fractional (an ``int``, ``float`` or ``Fraction``) because the paper
+    evaluates ``tau`` at the possibly fractional size upper bound ``sigma(B)``.
+    """
+    if size < 0:
+        return 0
+    gamma_exact = gamma_fraction(gamma)
+    size_exact = size if isinstance(size, (int, Fraction)) else Fraction(size)
+    return math.floor((1 - gamma_exact) * size_exact + gamma_exact)
+
+
+def neighbors_within(graph: Graph, vertex: VertexLabel, subset: Iterable[VertexLabel]
+                     ) -> frozenset[VertexLabel]:
+    """Return ``Γ(v, H)``: the neighbours of ``vertex`` inside ``subset``."""
+    return graph.neighbors(vertex) & frozenset(subset)
+
+
+def degree_within(graph: Graph, vertex: VertexLabel, subset: Iterable[VertexLabel]) -> int:
+    """Return ``delta(v, H)``: the number of neighbours of ``vertex`` inside ``subset``."""
+    return len(neighbors_within(graph, vertex, subset))
+
+
+def non_neighbors_within(graph: Graph, vertex: VertexLabel, subset: Iterable[VertexLabel]
+                         ) -> frozenset[VertexLabel]:
+    """Return ``Γ̄(v, H)``: the vertices of ``subset`` not adjacent to ``vertex``.
+
+    ``vertex`` itself is included when it belongs to ``subset`` (paper
+    convention).
+    """
+    subset = frozenset(subset)
+    return subset - graph.neighbors(vertex)
+
+
+def disconnections_within(graph: Graph, vertex: VertexLabel, subset: Iterable[VertexLabel]) -> int:
+    """Return ``delta_bar(v, H)`` under the self-counting convention."""
+    return len(non_neighbors_within(graph, vertex, subset))
+
+
+def max_disconnections(graph: Graph, subset: Iterable[VertexLabel]) -> int:
+    """Return ``Delta(H) = max_{v in H} delta_bar(v, H)`` (Equation 2); 0 for empty H."""
+    subset = frozenset(subset)
+    if not subset:
+        return 0
+    return max(disconnections_within(graph, v, subset) for v in subset)
+
+
+def is_quasi_clique(graph: Graph, subset: Iterable[VertexLabel], gamma: float,
+                    require_connected: bool = True) -> bool:
+    """Return True iff ``G[subset]`` is a gamma-quasi-clique (Definition 1).
+
+    A gamma-quasi-clique must (1) be connected and (2) have every vertex
+    adjacent to at least ``ceil(gamma * (|H| - 1))`` of the other vertices.
+    The empty set is not a quasi-clique; a single vertex is.
+    """
+    subset = frozenset(subset)
+    if not subset:
+        return False
+    for vertex in subset:
+        graph.index_of(vertex)  # validate membership in the graph
+    if len(subset) == 1:
+        return True
+    required = degree_threshold(gamma, len(subset))
+    for vertex in subset:
+        if degree_within(graph, vertex, subset) < required:
+            return False
+    if require_connected and not is_connected(graph, subset):
+        return False
+    return True
+
+
+def is_quasi_clique_by_lemma1(graph: Graph, subset: Iterable[VertexLabel], gamma: float) -> bool:
+    """Return True iff ``Delta(H) <= tau(|H|)`` (Lemma 1).
+
+    For gamma >= 0.5 this is equivalent to :func:`is_quasi_clique` because the
+    degree condition alone already forces connectivity (every vertex is
+    adjacent to at least half of the others).
+    """
+    subset = frozenset(subset)
+    if not subset:
+        return False
+    return max_disconnections(graph, subset) <= tau(len(subset), gamma)
+
+
+def quasi_clique_size_upper_bound(gamma: float, degeneracy_value: int) -> int:
+    """Return the ``2 * omega + 1`` bound on the size of any gamma-QC for gamma >= 0.5.
+
+    Used in the paper's Section 2.2 analysis of the MQCE-S2 post-processing cost.
+    """
+    return 2 * degeneracy_value + 1
+
+
+# ----------------------------------------------------------------------
+# Index/bitmask variants used by the branch-and-bound engine
+# ----------------------------------------------------------------------
+def mask_degree(graph: Graph, vertex_index: int, subset_mask: int) -> int:
+    """Return ``delta(v, H)`` where ``H`` is given as a bitmask."""
+    return (graph.adjacency_mask(vertex_index) & subset_mask).bit_count()
+
+
+def mask_disconnections(graph: Graph, vertex_index: int, subset_mask: int) -> int:
+    """Return ``delta_bar(v, H)`` (self-counting) where ``H`` is a bitmask."""
+    return (subset_mask & ~graph.adjacency_mask(vertex_index)).bit_count()
+
+
+def mask_max_disconnections(graph: Graph, subset_mask: int) -> int:
+    """Return ``Delta(H)`` where ``H`` is a bitmask; 0 for the empty mask."""
+    if subset_mask == 0:
+        return 0
+    return max(mask_disconnections(graph, v, subset_mask) for v in iter_bits(subset_mask))
+
+
+def mask_is_quasi_clique(graph: Graph, subset_mask: int, gamma: float) -> bool:
+    """Bitmask variant of :func:`is_quasi_clique_by_lemma1` (valid for gamma >= 0.5)."""
+    if subset_mask == 0:
+        return False
+    size = subset_mask.bit_count()
+    return mask_max_disconnections(graph, subset_mask) <= tau(size, gamma)

@@ -1,0 +1,84 @@
+"""Edge-based (density) quasi-cliques, for contrast with the degree-based ones.
+
+The paper's related work (Section 7) distinguishes the *degree-based*
+gamma-quasi-cliques it studies from the *edge-based* variant of Abello et al.:
+an edge-based gamma-quasi-clique is a subgraph whose edge count is at least a
+fraction gamma of a clique's, i.e. ``|E(H)| >= gamma * |H| * (|H| - 1) / 2``.
+Degree-based QCs are always edge-based QCs of the same gamma but not vice
+versa (degree-based is the denser notion), which is why the paper focuses on
+the degree-based definition.  This module provides the edge-based definition
+and a small brute-force enumerator so that the relationship can be
+demonstrated and tested.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from fractions import Fraction
+from itertools import combinations
+
+from ..graph.graph import Graph, VertexLabel
+from ..graph.subgraph import is_connected
+
+
+def internal_edge_count(graph: Graph, subset: Iterable[VertexLabel]) -> int:
+    """Return the number of edges of the induced subgraph ``G[subset]``."""
+    subset = frozenset(subset)
+    count = 0
+    for vertex in subset:
+        count += len(graph.neighbors(vertex) & subset)
+    return count // 2
+
+
+def edge_density(graph: Graph, subset: Iterable[VertexLabel]) -> float:
+    """Return ``|E(H)| / (|H| * (|H| - 1) / 2)``; 1.0 for singletons."""
+    subset = frozenset(subset)
+    if len(subset) <= 1:
+        return 1.0
+    possible = len(subset) * (len(subset) - 1) // 2
+    return internal_edge_count(graph, subset) / possible
+
+
+def is_edge_based_quasi_clique(graph: Graph, subset: Iterable[VertexLabel], gamma: float,
+                               require_connected: bool = True) -> bool:
+    """Return True iff ``G[subset]`` is an edge-based gamma-quasi-clique."""
+    subset = frozenset(subset)
+    if not subset:
+        return False
+    for vertex in subset:
+        graph.index_of(vertex)
+    if len(subset) == 1:
+        return True
+    if require_connected and not is_connected(graph, subset):
+        return False
+    possible = Fraction(len(subset) * (len(subset) - 1), 2)
+    required = Fraction(str(gamma)) * possible
+    return internal_edge_count(graph, subset) >= required
+
+
+def enumerate_edge_based_quasi_cliques(graph: Graph, gamma: float, theta: int = 1,
+                                       max_size: int | None = None) -> list[frozenset]:
+    """Brute-force enumeration of edge-based gamma-QCs (small graphs only)."""
+    vertices = graph.vertices()
+    upper = len(vertices) if max_size is None else min(max_size, len(vertices))
+    result = []
+    for size in range(max(1, theta), upper + 1):
+        for subset in combinations(vertices, size):
+            candidate = frozenset(subset)
+            if is_edge_based_quasi_clique(graph, candidate, gamma):
+                result.append(candidate)
+    return result
+
+
+def degree_based_implies_edge_based(graph: Graph, subset: Iterable[VertexLabel],
+                                    gamma: float) -> bool:
+    """Check the containment the paper cites: degree-based QC => edge-based QC.
+
+    Returns True when the implication holds for this particular subset (it
+    always should; the function exists so tests can assert it en masse).
+    """
+    from .definitions import is_quasi_clique
+
+    if not is_quasi_clique(graph, subset, gamma):
+        return True
+    return is_edge_based_quasi_clique(graph, subset, gamma)

@@ -1,0 +1,88 @@
+"""Maximality checks for quasi-cliques.
+
+Checking whether a quasi-clique is *maximal* in the input graph is NP-hard
+(Section 2.1), so the library offers three tools:
+
+* :func:`satisfies_maximality_necessary_condition` — the polynomial check used
+  by FastQC's output filter (Algorithm 2, line 9/22): ``H`` may be maximal only
+  if no single vertex ``v`` outside ``H`` makes ``G[H ∪ {v}]`` a quasi-clique.
+* :func:`is_maximal_quasi_clique` — an exact (exponential) check, intended for
+  small graphs and for tests.
+* :func:`extending_vertices` — the witnesses that the necessary condition
+  inspects, useful for diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from itertools import combinations
+
+from ..graph.graph import Graph, VertexLabel
+from .definitions import is_quasi_clique
+
+
+def extending_vertices(graph: Graph, subset: Iterable[VertexLabel], gamma: float
+                       ) -> frozenset[VertexLabel]:
+    """Return the vertices ``v`` outside ``subset`` with ``G[subset ∪ {v}]`` a QC.
+
+    Only neighbours of the subset need to be inspected: adding a vertex with no
+    edge into ``subset`` disconnects the induced subgraph.
+    """
+    subset = frozenset(subset)
+    if not subset:
+        return frozenset()
+    candidates: set[VertexLabel] = set()
+    for member in subset:
+        candidates |= graph.neighbors(member)
+    candidates -= subset
+    return frozenset(v for v in candidates if is_quasi_clique(graph, subset | {v}, gamma))
+
+
+def satisfies_maximality_necessary_condition(graph: Graph, subset: Iterable[VertexLabel],
+                                             gamma: float) -> bool:
+    """Return True iff no single outside vertex extends ``subset`` to a larger QC.
+
+    This is a *necessary* condition for maximality: every maximal quasi-clique
+    passes it, but a non-maximal QC may also pass it (when only multi-vertex
+    extensions exist).  FastQC uses it to discard many non-maximal outputs
+    cheaply without risking the loss of any MQC.
+    """
+    return not extending_vertices(graph, subset, gamma)
+
+
+def is_maximal_quasi_clique(graph: Graph, subset: Iterable[VertexLabel], gamma: float,
+                            size_limit: int | None = None) -> bool:
+    """Exact maximality check by exhaustive extension search (exponential).
+
+    ``subset`` must itself be a quasi-clique; the function then searches for
+    any strict superset (within the whole graph) that is also a quasi-clique.
+    ``size_limit`` optionally caps the size of supersets considered (useful
+    when the caller knows an upper bound such as ``2 * degeneracy + 1``).
+
+    Intended for small graphs and for validating the enumeration algorithms in
+    tests; the runtime is exponential in the number of remaining vertices.
+    """
+    subset = frozenset(subset)
+    if not is_quasi_clique(graph, subset, gamma):
+        return False
+    # Candidate extension vertices: within distance 2 of the subset (gamma >= 0.5
+    # quasi-cliques have diameter <= 2), or all remaining vertices for gamma < 0.5.
+    others = [v for v in graph.vertices() if v not in subset]
+    max_extra = len(others)
+    if size_limit is not None:
+        max_extra = min(max_extra, max(0, size_limit - len(subset)))
+    for extra_size in range(1, max_extra + 1):
+        for extra in combinations(others, extra_size):
+            if is_quasi_clique(graph, subset | frozenset(extra), gamma):
+                return False
+    return True
+
+
+def filter_by_necessary_condition(graph: Graph, quasi_cliques: Iterable[frozenset],
+                                  gamma: float) -> list[frozenset]:
+    """Drop QCs that fail the single-vertex-extension necessary condition.
+
+    The result is still a superset of all maximal quasi-cliques.
+    """
+    return [clique for clique in quasi_cliques
+            if satisfies_maximality_necessary_condition(graph, clique, gamma)]

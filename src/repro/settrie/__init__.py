@@ -1,0 +1,6 @@
+"""Set-trie substrate used to solve the MQCE-S2 post-processing step."""
+
+from .settrie import SetTrie
+from .filter import filter_non_maximal, maximal_and_filtered_counts
+
+__all__ = ["SetTrie", "filter_non_maximal", "maximal_and_filtered_counts"]

@@ -1,0 +1,65 @@
+"""MQCE-S2: filtering non-maximal quasi-cliques from a candidate set.
+
+Given a family ``S`` of quasi-cliques that contains every maximal quasi-clique
+(the output of an MQCE-S1 algorithm such as FastQC or Quick+), the maximal ones
+are exactly the members of ``S`` that are not proper subsets of any other
+member.  The paper solves this with repeated ``GetAllSubsets`` queries on a
+set-trie; both that strategy and a superset-query strategy are provided.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .settrie import SetTrie
+
+
+def filter_non_maximal(candidate_sets: Iterable[frozenset], theta: int = 1,
+                       method: str = "subsets") -> list[frozenset]:
+    """Return the inclusion-maximal members of ``candidate_sets`` with size >= theta.
+
+    Parameters
+    ----------
+    candidate_sets:
+        Quasi-cliques produced by an MQCE-S1 algorithm.  Duplicates are allowed
+        and removed.
+    theta:
+        Minimum size of the sets to keep (the MQCE size threshold).
+    method:
+        ``"subsets"`` (paper strategy: issue a GetAllSubsets query per set and
+        drop the proper subsets found), ``"supersets"`` (keep a set iff the
+        trie holds no proper superset) or ``"pairwise"`` (quadratic reference
+        implementation, used in tests).
+    """
+    unique = sorted(set(frozenset(entry) for entry in candidate_sets),
+                    key=len, reverse=True)
+    if method == "pairwise":
+        return [entry for entry in unique
+                if len(entry) >= theta and not any(entry < other for other in unique)]
+    if method == "supersets":
+        trie = SetTrie(unique)
+        return [entry for entry in unique
+                if len(entry) >= theta and not trie.exists_superset(entry, proper=True)]
+    if method != "subsets":
+        raise ValueError(f"unknown filtering method {method!r}")
+
+    trie = SetTrie(unique)
+    eliminated: set[frozenset] = set()
+    # Processing from largest to smallest guarantees that when a set is used as
+    # a query it has not itself been eliminated by a strictly larger set yet to
+    # be processed -- maximality is transitive over the subset relation.
+    for entry in unique:
+        if entry in eliminated:
+            continue
+        for subset in trie.get_all_subsets(entry):
+            if subset != entry and len(subset) < len(entry):
+                eliminated.add(subset)
+    return [entry for entry in unique if entry not in eliminated and len(entry) >= theta]
+
+
+def maximal_and_filtered_counts(candidate_sets: Iterable[frozenset], theta: int = 1
+                                ) -> tuple[int, int]:
+    """Return (number of candidates, number of maximal sets) — Table 1 bookkeeping."""
+    unique = set(frozenset(entry) for entry in candidate_sets)
+    maximal = filter_non_maximal(unique, theta=theta)
+    return len(unique), len(maximal)

@@ -1,0 +1,208 @@
+"""Set-trie data structure for subset / superset containment queries.
+
+The MQCE-S2 step (Section 2.2) filters non-maximal quasi-cliques out of the
+candidate set produced by MQCE-S1.  The paper follows Savnik et al. (2021) and
+uses a *set-trie*: sets are stored as sorted sequences of elements along trie
+paths, which supports
+
+* ``get_all_subsets(query)`` — every stored set that is a subset of the query
+  (the ``GetAllSubsets`` query of the paper), and
+* ``exists_superset(query)`` / ``get_all_supersets(query)`` — whether / which
+  stored sets contain the query.
+
+Elements may be arbitrary hashable, mutually comparable values; internally they
+are mapped to dense integer ranks so mixed-type vertex labels also work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+
+class _Node:
+    __slots__ = ("children", "terminal_ids")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _Node] = {}
+        self.terminal_ids: list[int] = []
+
+
+class SetTrie:
+    """A set-trie storing a family of sets with subset/superset queries."""
+
+    def __init__(self, sets: Optional[Iterable[Iterable[Hashable]]] = None) -> None:
+        self._root = _Node()
+        self._rank_of: dict[Hashable, int] = {}
+        self._stored: list[frozenset] = []
+        if sets is not None:
+            for entry in sets:
+                self.insert(entry)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _rank(self, element: Hashable, create: bool) -> Optional[int]:
+        rank = self._rank_of.get(element)
+        if rank is None and create:
+            rank = len(self._rank_of)
+            self._rank_of[element] = rank
+        return rank
+
+    def insert(self, elements: Iterable[Hashable]) -> int:
+        """Insert a set and return its integer id (duplicates get new ids)."""
+        entry = frozenset(elements)
+        ranks = sorted(self._rank(element, create=True) for element in entry)
+        node = self._root
+        for rank in ranks:
+            node = node.children.setdefault(rank, _Node())
+        set_id = len(self._stored)
+        node.terminal_ids.append(set_id)
+        self._stored.append(entry)
+        return set_id
+
+    def __len__(self) -> int:
+        return len(self._stored)
+
+    def __contains__(self, elements: Iterable[Hashable]) -> bool:
+        entry = frozenset(elements)
+        ranks = []
+        for element in entry:
+            rank = self._rank(element, create=False)
+            if rank is None:
+                return False
+            ranks.append(rank)
+        node = self._root
+        for rank in sorted(ranks):
+            node = node.children.get(rank)
+            if node is None:
+                return False
+        return bool(node.terminal_ids)
+
+    def stored_sets(self) -> list[frozenset]:
+        """Return all stored sets in insertion order."""
+        return list(self._stored)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get_all_subsets(self, query: Iterable[Hashable]) -> list[frozenset]:
+        """Return every stored set that is a subset of ``query`` (GetAllSubsets)."""
+        return [self._stored[set_id] for set_id in self.get_all_subset_ids(query)]
+
+    def get_all_subset_ids(self, query: Iterable[Hashable]) -> list[int]:
+        """Return the ids of every stored set that is a subset of ``query``."""
+        ranks = self._query_ranks(query)
+        found: list[int] = []
+        self._collect_subsets(self._root, ranks, 0, found)
+        return found
+
+    def _query_ranks(self, query: Iterable[Hashable]) -> list[int]:
+        ranks = []
+        for element in frozenset(query):
+            rank = self._rank(element, create=False)
+            if rank is not None:
+                ranks.append(rank)
+        ranks.sort()
+        return ranks
+
+    def _collect_subsets(self, node: _Node, ranks: list[int], start: int,
+                         found: list[int]) -> None:
+        found.extend(node.terminal_ids)
+        if start >= len(ranks):
+            return
+        # Children are only followed for elements that appear in the query.
+        if len(node.children) <= len(ranks) - start:
+            for rank, child in node.children.items():
+                position = _first_index_at_least(ranks, start, rank)
+                if position < len(ranks) and ranks[position] == rank:
+                    self._collect_subsets(child, ranks, position + 1, found)
+        else:
+            for position in range(start, len(ranks)):
+                child = node.children.get(ranks[position])
+                if child is not None:
+                    self._collect_subsets(child, ranks, position + 1, found)
+
+    def exists_superset(self, query: Iterable[Hashable], proper: bool = False) -> bool:
+        """Return True iff some stored set is a superset of ``query``.
+
+        With ``proper=True``, only strictly larger supersets count.
+        """
+        entry = frozenset(query)
+        ranks = []
+        for element in entry:
+            rank = self._rank(element, create=False)
+            if rank is None:
+                return False
+            ranks.append(rank)
+        ranks.sort()
+        return self._exists_superset(self._root, ranks, 0, len(entry), proper)
+
+    def _exists_superset(self, node: _Node, ranks: list[int], matched: int,
+                         query_size: int, proper: bool) -> bool:
+        if matched == len(ranks):
+            if node.terminal_ids and (not proper or self._has_larger(node, query_size)):
+                return True
+            return any(self._subtree_has_terminal(child) for child in node.children.values())
+        target = ranks[matched]
+        for rank, child in node.children.items():
+            if rank > target:
+                continue
+            next_matched = matched + 1 if rank == target else matched
+            if self._exists_superset(child, ranks, next_matched, query_size, proper):
+                return True
+        return False
+
+    def _has_larger(self, node: _Node, query_size: int) -> bool:
+        return any(len(self._stored[set_id]) > query_size for set_id in node.terminal_ids)
+
+    def _subtree_has_terminal(self, node: _Node) -> bool:
+        if node.terminal_ids:
+            return True
+        return any(self._subtree_has_terminal(child) for child in node.children.values())
+
+    def get_all_supersets(self, query: Iterable[Hashable]) -> list[frozenset]:
+        """Return every stored set that is a superset of ``query``."""
+        entry = frozenset(query)
+        ranks = []
+        for element in entry:
+            rank = self._rank(element, create=False)
+            if rank is None:
+                return []
+            ranks.append(rank)
+        ranks.sort()
+        found: list[int] = []
+        self._collect_supersets(self._root, ranks, 0, found)
+        return [self._stored[set_id] for set_id in found]
+
+    def _collect_supersets(self, node: _Node, ranks: list[int], matched: int,
+                           found: list[int]) -> None:
+        if matched == len(ranks):
+            self._collect_all(node, found)
+            return
+        target = ranks[matched]
+        for rank, child in node.children.items():
+            if rank > target:
+                continue
+            next_matched = matched + 1 if rank == target else matched
+            self._collect_supersets(child, ranks, next_matched, found)
+
+    def _collect_all(self, node: _Node, found: list[int]) -> None:
+        found.extend(node.terminal_ids)
+        for child in node.children.values():
+            self._collect_all(child, found)
+
+    def __iter__(self) -> Iterator[frozenset]:
+        return iter(self._stored)
+
+
+def _first_index_at_least(values: list[int], start: int, target: int) -> int:
+    """Return the first index >= start with values[index] >= target (binary search)."""
+    low, high = start, len(values)
+    while low < high:
+        mid = (low + high) // 2
+        if values[mid] < target:
+            low = mid + 1
+        else:
+            high = mid
+    return low

@@ -1,0 +1,67 @@
+"""Shared fixtures: small reference graphs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """A 3-clique."""
+    return Graph(edges=[(1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """A path on 4 vertices: 1-2-3-4."""
+    return Graph(edges=[(1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star5() -> Graph:
+    """A star with center 0 and leaves 1..4."""
+    return Graph(edges=[(0, 1), (0, 2), (0, 3), (0, 4)])
+
+
+@pytest.fixture
+def clique5() -> Graph:
+    """A 5-clique."""
+    edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    return Graph(edges=edges)
+
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two disjoint triangles."""
+    return Graph(edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+
+
+@pytest.fixture
+def paper_figure1() -> Graph:
+    """A 9-vertex graph in the spirit of the paper's running example (Figure 1).
+
+    The exact edge list of Figure 1 is not published; this graph reproduces
+    the properties the paper derives from it that the tests rely on:
+    ``G[{1, 3, 4, 5}]`` is a 0.6-quasi-clique while ``G[{1, 3, 4}]`` is not
+    (the non-hereditary Property 1).
+    """
+    edges = [
+        (1, 2), (1, 3), (1, 5),
+        (2, 3), (2, 4), (2, 5), (2, 6),
+        (3, 4), (3, 5),
+        (4, 5), (4, 6),
+        (5, 6), (5, 9),
+        (6, 7), (6, 8),
+        (7, 8), (7, 9),
+        (8, 9),
+    ]
+    return Graph(edges=edges)
+
+
+@pytest.fixture
+def almost_clique6() -> Graph:
+    """A 6-clique with one edge removed: a 0.8-quasi-clique that is not a clique."""
+    edges = [(i, j) for i in range(6) for j in range(i + 1, 6) if (i, j) != (0, 1)]
+    return Graph(edges=edges)

@@ -1,0 +1,69 @@
+"""Unit tests for the brute-force reference enumerators."""
+
+from __future__ import annotations
+
+from repro import Graph
+from repro.quasiclique import (
+    enumerate_all_quasi_cliques,
+    enumerate_maximal_quasi_cliques_bruteforce,
+    is_quasi_clique,
+    is_superset_of_all_maximal,
+)
+
+
+class TestEnumerateAll:
+    def test_triangle_cliques(self, triangle):
+        cliques = enumerate_all_quasi_cliques(triangle, 1.0)
+        assert frozenset({1, 2, 3}) in cliques
+        assert frozenset({1, 2}) in cliques
+        assert len([c for c in cliques if len(c) == 1]) == 3
+
+    def test_theta_filters_small(self, triangle):
+        cliques = enumerate_all_quasi_cliques(triangle, 1.0, theta=3)
+        assert cliques == [frozenset({1, 2, 3})]
+
+    def test_max_size_cap(self, clique5):
+        cliques = enumerate_all_quasi_cliques(clique5, 1.0, theta=2, max_size=3)
+        assert all(len(c) <= 3 for c in cliques)
+
+    def test_every_output_is_a_qc(self, paper_figure1):
+        for gamma in (0.5, 0.75, 0.9):
+            for clique in enumerate_all_quasi_cliques(paper_figure1, gamma, theta=2):
+                assert is_quasi_clique(paper_figure1, clique, gamma)
+
+    def test_empty_graph(self):
+        assert enumerate_all_quasi_cliques(Graph(), 0.9) == []
+
+
+class TestEnumerateMaximal:
+    def test_clique_has_single_maximal(self, clique5):
+        assert enumerate_maximal_quasi_cliques_bruteforce(clique5, 1.0) == [frozenset(range(5))]
+
+    def test_two_triangles(self, two_triangles):
+        maximal = enumerate_maximal_quasi_cliques_bruteforce(two_triangles, 1.0, theta=3)
+        assert set(maximal) == {frozenset({0, 1, 2}), frozenset({3, 4, 5})}
+
+    def test_maximality_is_global_even_with_theta(self, clique5):
+        # With theta=4, the 4-subsets are NOT maximal because the 5-clique exists.
+        maximal = enumerate_maximal_quasi_cliques_bruteforce(clique5, 1.0, theta=4)
+        assert maximal == [frozenset(range(5))]
+
+    def test_no_output_is_subset_of_another(self, paper_figure1):
+        maximal = enumerate_maximal_quasi_cliques_bruteforce(paper_figure1, 0.6)
+        for a in maximal:
+            for b in maximal:
+                assert not (a < b)
+
+    def test_star_maximal_edges(self, star5):
+        maximal = enumerate_maximal_quasi_cliques_bruteforce(star5, 0.9, theta=2)
+        assert set(maximal) == {frozenset({0, leaf}) for leaf in range(1, 5)}
+
+
+class TestSupersetChecker:
+    def test_accepts_superset(self, triangle):
+        output = [frozenset({1, 2, 3}), frozenset({1, 2})]
+        assert is_superset_of_all_maximal(output, triangle, 1.0, theta=3)
+
+    def test_rejects_missing_mqc(self, two_triangles):
+        output = [frozenset({0, 1, 2})]
+        assert not is_superset_of_all_maximal(output, two_triangles, 1.0, theta=3)

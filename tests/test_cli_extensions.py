@@ -1,0 +1,64 @@
+"""Tests for the CLI sub-commands that expose the extensions (topk, community)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph import write_edge_list
+from repro.graph.generators import planted_quasi_clique_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = planted_quasi_clique_graph(35, 45, [8, 6], 0.9, seed=5)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestTopkCommand:
+    def test_exact_topk(self, graph_file, capsys):
+        code = main(["topk", "-i", str(graph_file), "-g", "0.9", "-k", "2", "--min-size", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-2 largest 0.9-quasi-cliques (exact)" in out
+        assert "1. size" in out
+
+    def test_heuristic_topk(self, graph_file, capsys):
+        code = main(["topk", "-i", str(graph_file), "-g", "0.9", "-k", "1",
+                     "--min-size", "4", "--heuristic"])
+        assert code == 0
+        assert "kernel expansion" in capsys.readouterr().out
+
+    def test_dataset_defaults(self, capsys):
+        code = main(["topk", "-d", "douban", "-k", "1", "--min-size", "5"])
+        assert code == 0
+        assert "size" in capsys.readouterr().out
+
+    def test_missing_gamma(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["topk", "-i", str(graph_file)])
+
+
+class TestCommunityCommand:
+    def test_community_of_planted_member(self, graph_file, capsys):
+        code = main(["community", "-i", str(graph_file), "-g", "0.85", "-t", "4", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "containing 0" in out
+        assert "quasi-cliques" in out
+
+    def test_community_with_dataset_defaults(self, capsys):
+        code = main(["community", "-d", "douban", "0"])
+        assert code == 0
+        assert "containing 0" in capsys.readouterr().out
+
+    def test_missing_parameters(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["community", "-i", str(graph_file), "0"])
+
+    def test_multiple_query_vertices(self, graph_file, capsys):
+        code = main(["community", "-i", str(graph_file), "-g", "0.85", "-t", "4", "0", "1"])
+        assert code == 0
+        assert "containing 0, 1" in capsys.readouterr().out

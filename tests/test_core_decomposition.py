@@ -1,0 +1,113 @@
+"""Unit tests for k-core decomposition and degeneracy ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph
+from repro.graph import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    erdos_renyi_gnm,
+    is_degeneracy_ordering,
+    k_core,
+    k_core_vertices,
+)
+
+
+class TestCoreNumbers:
+    def test_clique_core_numbers(self, clique5):
+        assert set(core_numbers(clique5).values()) == {4}
+
+    def test_path_core_numbers(self, path4):
+        assert set(core_numbers(path4).values()) == {1}
+
+    def test_star_core_numbers(self, star5):
+        cores = core_numbers(star5)
+        assert cores[0] == 1
+        assert all(cores[leaf] == 1 for leaf in range(1, 5))
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+        assert degeneracy(Graph()) == 0
+
+    def test_triangle_with_pendant(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        cores = core_numbers(graph)
+        assert cores[3] == 1
+        assert cores[0] == cores[1] == cores[2] == 2
+
+    def test_core_number_bounded_by_degree(self, paper_figure1):
+        cores = core_numbers(paper_figure1)
+        for vertex, core in cores.items():
+            assert core <= paper_figure1.degree(vertex)
+
+
+class TestDegeneracy:
+    def test_clique_degeneracy(self, clique5):
+        assert degeneracy(clique5) == 4
+
+    def test_tree_degeneracy(self, path4, star5):
+        assert degeneracy(path4) == 1
+        assert degeneracy(star5) == 1
+
+    def test_degeneracy_of_er_graph_is_at_most_max_degree(self):
+        graph = erdos_renyi_gnm(60, 180, seed=3)
+        assert degeneracy(graph) <= graph.max_degree()
+
+
+class TestDegeneracyOrdering:
+    def test_ordering_is_permutation(self, paper_figure1):
+        ordering = degeneracy_ordering(paper_figure1)
+        assert sorted(ordering) == sorted(paper_figure1.vertices())
+
+    def test_ordering_satisfies_property(self, paper_figure1):
+        assert is_degeneracy_ordering(paper_figure1, degeneracy_ordering(paper_figure1))
+
+    def test_ordering_property_on_random_graph(self):
+        graph = erdos_renyi_gnm(50, 140, seed=11)
+        assert is_degeneracy_ordering(graph, degeneracy_ordering(graph))
+
+    def test_wrong_ordering_detected(self, star5):
+        # Placing the hub first gives it 4 later neighbours > degeneracy 1.
+        ordering = [0, 1, 2, 3, 4]
+        assert not is_degeneracy_ordering(star5, ordering)
+
+    def test_incomplete_ordering_rejected(self, triangle):
+        assert not is_degeneracy_ordering(triangle, [1, 2])
+
+    def test_empty_graph_ordering(self):
+        assert degeneracy_ordering(Graph()) == []
+
+
+class TestKCore:
+    def test_k_core_of_clique(self, clique5):
+        assert k_core(clique5, 4).vertex_count == 5
+        assert k_core(clique5, 5).vertex_count == 0
+
+    def test_k_core_removes_pendants(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        core = k_core(graph, 2)
+        assert sorted(core.vertices()) == [0, 1, 2]
+
+    def test_k_core_iterative_removal(self):
+        # A path attached to a triangle: removing the leaf exposes the next vertex.
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        assert sorted(k_core(graph, 2).vertices()) == [0, 1, 2]
+
+    def test_k_core_zero_returns_copy(self, path4):
+        core = k_core(path4, 0)
+        assert core.vertex_count == path4.vertex_count
+        core.add_edge(1, 4)
+        assert not path4.has_edge(1, 4)
+
+    def test_k_core_vertices_matches_k_core(self, paper_figure1):
+        for k in range(0, 5):
+            assert k_core_vertices(paper_figure1, k) == frozenset(k_core(paper_figure1, k).vertices())
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_k_core_min_degree_property(self, paper_figure1, k):
+        core = k_core(paper_figure1, k)
+        for vertex in core.vertices():
+            assert core.degree(vertex) >= k

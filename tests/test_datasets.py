@@ -1,0 +1,90 @@
+"""Tests for the dataset registry (synthetic analogues of Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DEFAULT_FIGURE_DATASETS,
+    REGISTRY,
+    dataset_names,
+    default_parameters,
+    get_spec,
+    load_dataset,
+)
+from repro.graph import graph_statistics
+from repro.quasiclique import is_quasi_clique
+
+
+class TestRegistry:
+    def test_fourteen_datasets_registered(self):
+        assert len(REGISTRY) == 14
+
+    def test_names_match_table1(self):
+        expected = {"ca-grqc", "opsahl", "condmat", "enron", "douban", "wordnet",
+                    "twitter", "hyves", "trec", "flixster", "pokec", "fullusa",
+                    "kmer", "uk2002"}
+        assert set(dataset_names()) == expected
+
+    def test_default_figure_datasets_are_registered(self):
+        assert set(DEFAULT_FIGURE_DATASETS) <= set(dataset_names())
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("Enron").name == "enron"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("does-not-exist")
+
+    def test_default_parameters(self):
+        gamma, theta = default_parameters("enron")
+        assert 0.5 <= gamma <= 1.0
+        assert theta >= 1
+
+    def test_paper_stats_recorded(self):
+        spec = get_spec("uk2002")
+        assert spec.paper.vertices == 18483186
+        assert spec.paper.gamma_default == 0.96
+
+    def test_specs_have_valid_parameters(self):
+        for spec in REGISTRY.values():
+            assert 0.5 <= spec.default_gamma <= 1.0
+            assert spec.default_theta >= 1
+            assert spec.planted_gamma >= spec.default_gamma - 1e-9
+            assert spec.background in ("ba", "er")
+
+
+class TestBuiltGraphs:
+    @pytest.mark.parametrize("name", ["enron", "fullusa", "ca-grqc"])
+    def test_build_is_deterministic(self, name):
+        first = load_dataset(name)
+        second = load_dataset(name)
+        assert first.vertex_count == second.vertex_count
+        assert set(map(frozenset, first.edges())) == set(map(frozenset, second.edges()))
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_graphs_are_modest_but_nontrivial(self, name):
+        graph = load_dataset(name)
+        assert 100 <= graph.vertex_count <= 2000
+        assert graph.edge_count > graph.vertex_count / 2
+
+    @pytest.mark.parametrize("name", ["enron", "wordnet", "hyves", "pokec"])
+    def test_planted_groups_are_quasi_cliques(self, name):
+        spec = get_spec(name)
+        graph = spec.build()
+        start = 0
+        for size in spec.planted_sizes:
+            members = list(range(start, start + size))
+            assert is_quasi_clique(graph, members, spec.planted_gamma)
+            start += size + 3
+
+    def test_statistics_reasonable(self):
+        stats = graph_statistics(load_dataset("enron"))
+        assert stats.degeneracy >= 5
+        assert stats.max_degree >= stats.degeneracy
+        assert stats.edge_density > 1.0
+
+    def test_sparse_analogue_is_sparse(self):
+        road = graph_statistics(load_dataset("fullusa"))
+        social = graph_statistics(load_dataset("pokec"))
+        assert road.edge_density < social.edge_density

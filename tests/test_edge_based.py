@@ -1,0 +1,71 @@
+"""Tests for the edge-based quasi-clique definitions (related-work contrast)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.generators import erdos_renyi_gnp
+from repro.quasiclique import (
+    degree_based_implies_edge_based,
+    edge_density,
+    enumerate_all_quasi_cliques,
+    enumerate_edge_based_quasi_cliques,
+    internal_edge_count,
+    is_edge_based_quasi_clique,
+)
+
+
+class TestBasics:
+    def test_internal_edge_count(self, paper_figure1):
+        assert internal_edge_count(paper_figure1, {1, 2, 3}) == 3
+        assert internal_edge_count(paper_figure1, {1, 7}) == 0
+        assert internal_edge_count(paper_figure1, {1}) == 0
+
+    def test_edge_density(self, clique5, path4):
+        assert edge_density(clique5, range(5)) == 1.0
+        assert edge_density(path4, {1, 2, 3}) == 2 / 3
+        assert edge_density(path4, {1}) == 1.0
+
+    def test_clique_is_edge_based_qc(self, clique5):
+        assert is_edge_based_quasi_clique(clique5, range(5), 1.0)
+
+    def test_empty_set_is_not(self, clique5):
+        assert not is_edge_based_quasi_clique(clique5, set(), 0.9)
+
+    def test_connectivity_required_by_default(self, two_triangles):
+        union = set(range(6))
+        assert not is_edge_based_quasi_clique(two_triangles, union, 0.4)
+        assert is_edge_based_quasi_clique(two_triangles, union, 0.4,
+                                          require_connected=False)
+
+    def test_path_triple_is_two_thirds_qc(self, path4):
+        assert is_edge_based_quasi_clique(path4, {1, 2, 3}, 0.6)
+        assert not is_edge_based_quasi_clique(path4, {1, 2, 3}, 0.7)
+
+
+class TestRelationToDegreeBased:
+    def test_degree_based_implies_edge_based_on_random_graphs(self):
+        rng = random.Random(601)
+        for trial in range(10):
+            graph = erdos_renyi_gnp(8, rng.uniform(0.3, 0.9), seed=2400 + trial)
+            gamma = rng.choice([0.5, 0.6, 0.8, 0.9])
+            for clique in enumerate_all_quasi_cliques(graph, gamma):
+                assert degree_based_implies_edge_based(graph, clique, gamma)
+
+    def test_edge_based_is_weaker(self, path4):
+        # A path of three vertices is an edge-based 0.5-QC AND a degree-based
+        # 0.5-QC; but with gamma = 0.6 only the edge-based notion survives.
+        assert is_edge_based_quasi_clique(path4, {1, 2, 3}, 0.6)
+        from repro.quasiclique import is_quasi_clique
+
+        assert not is_quasi_clique(path4, {1, 2, 3}, 0.6)
+
+    def test_enumeration_counts(self, paper_figure1):
+        for gamma in (0.6, 0.9):
+            degree_based = set(enumerate_all_quasi_cliques(paper_figure1, gamma, theta=3))
+            edge_based = set(enumerate_edge_based_quasi_cliques(paper_figure1, gamma, theta=3))
+            assert degree_based <= edge_based
+
+    def test_theta_and_max_size_filters(self, clique5):
+        result = enumerate_edge_based_quasi_cliques(clique5, 1.0, theta=4, max_size=4)
+        assert all(len(clique) == 4 for clique in result)

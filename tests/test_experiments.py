@@ -1,0 +1,139 @@
+"""Tests for the experiment harness and the table/figure drivers.
+
+The harness functions are exercised on tiny inputs (small planted graphs or a
+single small dataset analogue) so the test suite stays fast; the full-size runs
+live under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    compare_algorithms,
+    codesign_ablation_rows,
+    dc_reduction_rows,
+    default_gamma_values,
+    default_theta_values,
+    figure10a_rows,
+    figure10b_rows,
+    format_table,
+    max_round_rows,
+    run_algorithm,
+    speedup_over_baseline,
+    sweep_parameter,
+    table1_row,
+)
+from repro.graph.generators import planted_quasi_clique_graph
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return planted_quasi_clique_graph(40, 60, [8, 6], 0.9, seed=13)
+
+
+class TestHarness:
+    def test_run_algorithm_row(self, small_graph):
+        row = run_algorithm(small_graph, 0.9, 5, "dcfastqc")
+        assert row["algorithm"] == "dcfastqc"
+        assert row["vertices"] == 40
+        assert row["maximal_count"] >= 1
+        assert row["candidate_count"] >= row["maximal_count"]
+        assert row["enumeration_seconds"] >= 0.0
+        assert row["branches_explored"] > 0
+
+    def test_run_algorithm_without_filtering(self, small_graph):
+        row = run_algorithm(small_graph, 0.9, 5, "dcfastqc", include_filtering=False)
+        assert row["maximal_count"] == 0
+        assert row["filtering_seconds"] == 0.0
+
+    def test_kwargs_recorded_as_options(self, small_graph):
+        row = run_algorithm(small_graph, 0.9, 5, "dcfastqc", branching="sym-se")
+        assert row["option_branching"] == "sym-se"
+
+    def test_compare_algorithms(self, small_graph):
+        rows = compare_algorithms(small_graph, 0.9, 5, algorithms=("dcfastqc", "quickplus"))
+        assert [row["algorithm"] for row in rows] == ["dcfastqc", "quickplus"]
+        assert rows[0]["maximal_count"] == rows[1]["maximal_count"]
+
+    def test_sweep_parameter_gamma(self, small_graph):
+        rows = sweep_parameter(small_graph, "gamma", [0.85, 0.9], 0.9, 5,
+                               algorithms=("dcfastqc",))
+        assert len(rows) == 2
+        assert {row["swept_value"] for row in rows} == {0.85, 0.9}
+
+    def test_sweep_parameter_theta(self, small_graph):
+        rows = sweep_parameter(small_graph, "theta", [5, 6], 0.9, 5, algorithms=("dcfastqc",))
+        assert {row["theta"] for row in rows} == {5, 6}
+
+    def test_sweep_parameter_invalid(self, small_graph):
+        with pytest.raises(ValueError):
+            sweep_parameter(small_graph, "delta", [1], 0.9, 5)
+
+    def test_speedup_over_baseline(self):
+        rows = [
+            {"algorithm": "dcfastqc", "enumeration_seconds": 1.0},
+            {"algorithm": "quickplus", "enumeration_seconds": 10.0},
+        ]
+        assert speedup_over_baseline(rows) == pytest.approx(10.0)
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert "2.346" in text
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_missing_column(self):
+        text = format_table([{"a": 1}], columns=["a", "missing"])
+        assert "missing" in text
+
+
+class TestFigureDrivers:
+    def test_default_sweep_values(self):
+        gammas = default_gamma_values("enron")
+        thetas = default_theta_values("enron")
+        assert all(0.5 <= g <= 1.0 for g in gammas)
+        assert all(t >= 2 for t in thetas)
+        assert len(gammas) >= 3 and len(thetas) >= 3
+
+    def test_figure10a_rows_small(self):
+        rows = figure10a_rows(vertex_counts=(60,), edge_density=4.0, gamma=0.9, theta=5,
+                              algorithms=("dcfastqc",))
+        assert len(rows) == 1
+        assert rows[0]["vertex_count"] == 60
+
+    def test_figure10b_rows_small(self):
+        rows = figure10b_rows(edge_densities=(3.0, 5.0), vertex_count=60, gamma=0.9,
+                              theta=5, algorithms=("dcfastqc",))
+        assert {row["edge_density"] for row in rows} == {3.0, 5.0}
+
+    def test_max_round_rows(self):
+        rows = max_round_rows(names=("douban",), rounds=(1, 2))
+        assert {row["max_rounds"] for row in rows} == {1, 2}
+
+    def test_dc_reduction_rows(self):
+        rows = dc_reduction_rows(names=("douban",))
+        assert rows[0]["subproblems"] >= 1
+        assert rows[0]["avg_refined_size"] <= rows[0]["avg_initial_size"]
+
+    def test_codesign_ablation_rows(self):
+        rows = codesign_ablation_rows(names=("douban",))
+        variants = {row["variant"] for row in rows}
+        assert "quickplus+se" in variants
+        assert "dcfastqc+hybrid" in variants
+
+
+class TestTable1:
+    def test_single_row_structure(self):
+        row = table1_row("douban", include_quickplus=True)
+        assert row["dataset"] == "douban"
+        assert row["mqc_count"] >= 1
+        assert row["dcfastqc_count"] >= row["mqc_count"]
+        assert row["quickplus_count"] >= row["mqc_count"]
+        assert row["min_size"] <= row["avg_size"] <= row["max_size"]
+        assert row["paper_mqc_count"] == 26
+
+    def test_row_without_quickplus(self):
+        row = table1_row("douban", include_quickplus=False)
+        assert "quickplus_count" not in row

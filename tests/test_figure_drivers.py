@@ -1,0 +1,69 @@
+"""Smoke tests for the figure drivers on trimmed inputs.
+
+The full-size runs belong to ``benchmarks/``; here each driver is exercised on
+a single small dataset analogue (or tiny synthetic input) to lock its row
+schema and its basic invariants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    figure7_rows,
+    figure8_rows,
+    figure9_rows,
+    figure11_rows,
+    figure12_rows,
+    settrie_filtering_rows,
+    speedup_over_baseline,
+)
+
+SMALL = "douban"
+
+
+@pytest.mark.parametrize("driver, kwargs, expected_extra_keys", [
+    (figure7_rows, {"names": [SMALL]}, {"dataset"}),
+    (figure8_rows, {"names": [SMALL], "gamma_values": [0.9]}, {"dataset", "swept_value"}),
+    (figure9_rows, {"names": [SMALL], "theta_values": [7]}, {"dataset", "swept_value"}),
+])
+def test_comparison_drivers(driver, kwargs, expected_extra_keys):
+    rows = driver(algorithms=("dcfastqc", "quickplus"), **kwargs)
+    assert rows
+    algorithms = {row["algorithm"] for row in rows}
+    assert algorithms == {"dcfastqc", "quickplus"}
+    for row in rows:
+        assert expected_extra_keys <= set(row)
+        assert row["enumeration_seconds"] >= 0.0
+        assert row["maximal_count"] >= 0
+    # Both algorithms agree on the answer size on every row group.
+    counts = {}
+    for row in rows:
+        key = tuple(row.get(k) for k in ("dataset", "swept_value"))
+        counts.setdefault(key, set()).add(row["maximal_count"])
+    assert all(len(values) == 1 for values in counts.values())
+    assert speedup_over_baseline(rows) > 0
+
+
+def test_figure11_driver_small():
+    rows = figure11_rows(names=(SMALL,), branchings=("hybrid", "se"), vary="theta")
+    assert {row["branching"] for row in rows} == {"hybrid", "se"}
+    assert all(row["branches_explored"] > 0 for row in rows)
+
+
+def test_figure12_driver_small():
+    rows = figure12_rows(names=(SMALL,), frameworks=(("DCFastQC", "dc"), ("FastQC", "none")),
+                         vary="theta")
+    assert {row["variant"] for row in rows} == {"DCFastQC", "FastQC"}
+    by_variant = {}
+    for row in rows:
+        by_variant.setdefault(row["variant"], 0)
+        by_variant[row["variant"]] += row["branches_explored"]
+    # The DC framework explores no more branches than plain FastQC overall.
+    assert by_variant["DCFastQC"] <= by_variant["FastQC"]
+
+
+def test_settrie_filtering_driver_small():
+    rows = settrie_filtering_rows(names=[SMALL])
+    assert rows[0]["filtering_fraction"] >= 0.0
+    assert rows[0]["candidate_count"] >= rows[0]["maximal_count"]

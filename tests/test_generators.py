@@ -1,0 +1,119 @@
+"""Unit tests for the random graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    erdos_renyi_by_density,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    planted_quasi_clique,
+    planted_quasi_clique_graph,
+    random_connected_graph,
+    is_connected,
+)
+from repro.quasiclique import is_quasi_clique
+from repro import Graph
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_edge_count(self):
+        graph = erdos_renyi_gnm(30, 60, seed=1)
+        assert graph.vertex_count == 30
+        assert graph.edge_count == 60
+
+    def test_gnm_deterministic_with_seed(self):
+        a = erdos_renyi_gnm(25, 50, seed=7)
+        b = erdos_renyi_gnm(25, 50, seed=7)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_gnm_different_seeds_differ(self):
+        a = erdos_renyi_gnm(25, 50, seed=7)
+        b = erdos_renyi_gnm(25, 50, seed=8)
+        assert set(map(frozenset, a.edges())) != set(map(frozenset, b.edges()))
+
+    def test_gnm_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(4, 7)
+
+    def test_gnm_negative_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(-1, 0)
+
+    def test_by_density(self):
+        graph = erdos_renyi_by_density(40, 2.5, seed=2)
+        assert graph.edge_count == 100
+
+    def test_gnp_bounds(self):
+        empty = erdos_renyi_gnp(10, 0.0, seed=1)
+        full = erdos_renyi_gnp(10, 1.0, seed=1)
+        assert empty.edge_count == 0
+        assert full.edge_count == 45
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp(5, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        graph = barabasi_albert(50, 3, seed=5)
+        # Initial clique of 4 vertices (6 edges) plus 3 edges per new vertex.
+        assert graph.edge_count == 6 + 3 * (50 - 4)
+
+    def test_connected(self):
+        graph = barabasi_albert(60, 2, seed=6)
+        assert is_connected(graph)
+
+    def test_skewed_degrees(self):
+        graph = barabasi_albert(200, 2, seed=7)
+        assert graph.max_degree() > 4 * (2 * graph.edge_count / graph.vertex_count)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+
+class TestPlantedQuasiCliques:
+    def test_planting_makes_group_a_qc(self):
+        graph = erdos_renyi_gnm(40, 40, seed=9)
+        planted_quasi_clique(graph, list(range(8)), 0.9, seed=1)
+        assert is_quasi_clique(graph, range(8), 0.9)
+
+    def test_planting_adds_missing_vertices(self):
+        graph = Graph()
+        planted_quasi_clique(graph, [0, 1, 2, 3], 1.0, seed=1)
+        assert is_quasi_clique(graph, [0, 1, 2, 3], 1.0)
+
+    def test_planting_trivial_groups(self):
+        graph = Graph(vertices=[0])
+        assert planted_quasi_clique(graph, [0], 0.9) is graph
+
+    def test_planted_graph_contains_all_groups(self):
+        graph = planted_quasi_clique_graph(60, 80, [8, 6], 0.9, seed=11)
+        assert is_quasi_clique(graph, range(8), 0.9)
+        assert is_quasi_clique(graph, range(8, 14), 0.9)
+
+    def test_planted_graph_rejects_oversized_groups(self):
+        with pytest.raises(ValueError):
+            planted_quasi_clique_graph(10, 5, [8, 8], 0.9, seed=1)
+
+    def test_deterministic(self):
+        a = planted_quasi_clique_graph(50, 60, [7], 0.9, seed=3)
+        b = planted_quasi_clique_graph(50, 60, [7], 0.9, seed=3)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+
+class TestRandomConnectedGraph:
+    def test_connected(self):
+        graph = random_connected_graph(40, 20, seed=4)
+        assert is_connected(graph)
+        assert graph.edge_count >= 39
+
+    def test_extra_edges_added(self):
+        graph = random_connected_graph(30, 15, seed=4)
+        assert graph.edge_count == 29 + 15

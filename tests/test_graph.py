@@ -1,0 +1,182 @@
+"""Unit tests for the Graph data structure (repro.graph.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, GraphError
+from repro.graph import iter_bits, mask_to_set, set_to_mask
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.vertex_count == 0
+        assert graph.edge_count == 0
+        assert len(graph) == 0
+        assert graph.vertices() == []
+        assert graph.edges() == []
+
+    def test_add_vertex_returns_index(self):
+        graph = Graph()
+        assert graph.add_vertex("a") == 0
+        assert graph.add_vertex("b") == 1
+
+    def test_add_vertex_idempotent(self):
+        graph = Graph()
+        assert graph.add_vertex("a") == 0
+        assert graph.add_vertex("a") == 0
+        assert graph.vertex_count == 1
+
+    def test_add_edge_creates_vertices(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        assert graph.vertex_count == 2
+        assert graph.edge_count == 1
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+
+    def test_add_edge_duplicate_is_noop(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_from_edges_with_extra_vertices(self):
+        graph = Graph.from_edges([(1, 2)], vertices=[1, 2, 3])
+        assert graph.vertex_count == 3
+        assert graph.degree(3) == 0
+
+    def test_from_adjacency(self):
+        graph = Graph.from_adjacency({1: [2, 3], 2: [1], 3: []})
+        assert graph.edge_count == 2
+        assert graph.has_edge(1, 3)
+
+    def test_constructor_with_edges(self, triangle):
+        assert triangle.vertex_count == 3
+        assert triangle.edge_count == 3
+
+    def test_string_and_int_labels_coexist(self):
+        graph = Graph(edges=[("a", 1), (1, "b")])
+        assert graph.vertex_count == 3
+        assert graph.has_edge("a", 1)
+
+    def test_repr(self, triangle):
+        assert "3" in repr(triangle)
+
+
+class TestAccessors:
+    def test_contains(self, triangle):
+        assert 1 in triangle
+        assert 99 not in triangle
+
+    def test_iter_yields_labels(self, triangle):
+        assert set(triangle) == {1, 2, 3}
+
+    def test_neighbors(self, path4):
+        assert path4.neighbors(2) == frozenset({1, 3})
+        assert path4.neighbors(1) == frozenset({2})
+
+    def test_degree(self, star5):
+        assert star5.degree(0) == 4
+        assert star5.degree(1) == 1
+
+    def test_max_degree(self, star5, path4):
+        assert star5.max_degree() == 4
+        assert path4.max_degree() == 2
+        assert Graph().max_degree() == 0
+
+    def test_density(self, triangle):
+        assert triangle.density() == pytest.approx(1.0)
+        assert Graph().density() == 0.0
+
+    def test_edges_listed_once(self, triangle):
+        edges = triangle.edges()
+        assert len(edges) == 3
+        assert len(set(frozenset(e) for e in edges)) == 3
+
+    def test_unknown_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors(42)
+        with pytest.raises(GraphError):
+            triangle.index_of(42)
+        with pytest.raises(GraphError):
+            triangle.label_of(17)
+
+
+class TestIndexSpace:
+    def test_index_label_roundtrip(self, path4):
+        for label in path4.vertices():
+            assert path4.label_of(path4.index_of(label)) == label
+
+    def test_labels_of_and_indices_of(self, path4):
+        indices = path4.indices_of([1, 3])
+        assert path4.labels_of(indices) == frozenset({1, 3})
+
+    def test_full_mask_has_n_bits(self, clique5):
+        assert clique5.full_mask().bit_count() == 5
+
+    def test_mask_of_roundtrip(self, clique5):
+        mask = clique5.mask_of([0, 2, 4])
+        assert clique5.labels_of_mask(mask) == frozenset({0, 2, 4})
+
+    def test_adjacency_mask_matches_sets(self, paper_figure1):
+        for label in paper_figure1.vertices():
+            index = paper_figure1.index_of(label)
+            from_mask = paper_figure1.labels_of_mask(paper_figure1.adjacency_mask(index))
+            assert from_mask == paper_figure1.neighbors(label)
+
+    def test_adjacency_masks_list(self, triangle):
+        masks = triangle.adjacency_masks()
+        assert len(masks) == 3
+        assert all(mask.bit_count() == 2 for mask in masks)
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self, paper_figure1):
+        subgraph = paper_figure1.induced_subgraph([1, 2, 3])
+        assert subgraph.vertex_count == 3
+        assert subgraph.has_edge(1, 2)
+        assert not subgraph.has_edge(1, 9) and 9 not in subgraph
+
+    def test_induced_subgraph_unknown_vertex(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.induced_subgraph([1, 99])
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_edge(3, 4)
+        assert 4 not in triangle
+        assert clone.edge_count == triangle.edge_count + 1
+
+    def test_relabeled_uses_indices(self):
+        graph = Graph(edges=[("x", "y"), ("y", "z")])
+        relabeled = graph.relabeled()
+        assert set(relabeled.vertices()) == {0, 1, 2}
+        assert relabeled.edge_count == 2
+
+    def test_networkx_roundtrip(self, paper_figure1):
+        nx_graph = paper_figure1.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back.vertex_count == paper_figure1.vertex_count
+        assert back.edge_count == paper_figure1.edge_count
+
+
+class TestBitHelpers:
+    def test_iter_bits_empty(self):
+        assert list(iter_bits(0)) == []
+
+    def test_iter_bits_order(self):
+        assert list(iter_bits(0b101101)) == [0, 2, 3, 5]
+
+    def test_mask_set_roundtrip(self):
+        indices = {1, 4, 9}
+        assert mask_to_set(set_to_mask(indices)) == indices
+
+    def test_set_to_mask_empty(self):
+        assert set_to_mask([]) == 0

@@ -1,0 +1,103 @@
+"""Unit tests for edge-list I/O (repro.graph.io)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import Graph, GraphError
+from repro.graph import read_edge_list, write_edge_list
+from repro.graph.io import iter_edge_list, read_quasi_cliques, write_quasi_cliques
+
+
+EDGE_FILE = """\
+% a KONECT-style comment
+# another comment
+1 2
+2 3 17.5 1089382
+3 1
+4 4
+"""
+
+
+class TestReadEdgeList:
+    def test_reads_basic_file(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text(EDGE_FILE)
+        graph = read_edge_list(path)
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 3
+
+    def test_reads_file_object(self):
+        graph = read_edge_list(io.StringIO(EDGE_FILE))
+        assert graph.edge_count == 3
+
+    def test_skips_comments_blanks_and_self_loops(self):
+        graph = read_edge_list(io.StringIO("% c\n\n1 1\n1 2\n"))
+        assert graph.edge_count == 1
+
+    def test_extra_columns_ignored(self):
+        graph = read_edge_list(io.StringIO("1 2 3.5 42\n"))
+        assert graph.edge_count == 1
+        assert graph.has_edge(1, 2)
+
+    def test_integer_labels_by_default(self):
+        graph = read_edge_list(io.StringIO("1 2\n"))
+        assert 1 in graph
+        assert "1" not in graph
+
+    def test_string_labels_when_disabled(self):
+        graph = read_edge_list(io.StringIO("1 2\n"), as_int=False)
+        assert "1" in graph
+
+    def test_mixed_labels(self):
+        graph = read_edge_list(io.StringIO("a 2\n2 b\n"))
+        assert graph.vertex_count == 3
+
+    def test_comma_separated(self):
+        graph = read_edge_list(io.StringIO("1,2\n2,3\n"))
+        assert graph.edge_count == 2
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("justone\n"))
+
+    def test_iter_edge_list_line_numbers_in_error(self):
+        with pytest.raises(GraphError, match="line 2"):
+            list(iter_edge_list(["1 2", "bad"]))
+
+
+class TestWriteEdgeList:
+    def test_roundtrip_via_path(self, tmp_path, paper_figure1):
+        path = tmp_path / "out.txt"
+        write_edge_list(paper_figure1, path, header="written by tests")
+        back = read_edge_list(path)
+        assert back.vertex_count == paper_figure1.vertex_count
+        assert back.edge_count == paper_figure1.edge_count
+
+    def test_roundtrip_via_file_object(self, triangle):
+        buffer = io.StringIO()
+        write_edge_list(triangle, buffer)
+        back = read_edge_list(io.StringIO(buffer.getvalue()))
+        assert back.edge_count == 3
+
+    def test_header_written_as_comments(self, triangle):
+        buffer = io.StringIO()
+        write_edge_list(triangle, buffer, header="line1\nline2")
+        text = buffer.getvalue()
+        assert text.startswith("% line1\n% line2\n")
+
+
+class TestQuasiCliqueFiles:
+    def test_roundtrip(self, tmp_path):
+        cliques = [frozenset({1, 2, 3}), frozenset({4, 5})]
+        path = tmp_path / "qcs.txt"
+        write_quasi_cliques(cliques, path)
+        back = read_quasi_cliques(path)
+        assert set(back) == set(cliques)
+
+    def test_read_skips_comments(self, tmp_path):
+        path = tmp_path / "qcs.txt"
+        path.write_text("% comment\n1 2 3\n\n")
+        assert read_quasi_cliques(path) == [frozenset({1, 2, 3})]

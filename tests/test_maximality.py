@@ -1,0 +1,80 @@
+"""Unit tests for maximality checks (necessary condition and exact check)."""
+
+from __future__ import annotations
+
+from repro import Graph
+from repro.quasiclique import (
+    enumerate_maximal_quasi_cliques_bruteforce,
+    extending_vertices,
+    filter_by_necessary_condition,
+    is_maximal_quasi_clique,
+    is_quasi_clique,
+    satisfies_maximality_necessary_condition,
+)
+
+
+class TestExtendingVertices:
+    def test_triangle_inside_clique_extends(self, clique5):
+        extensions = extending_vertices(clique5, {0, 1, 2}, 1.0)
+        assert extensions == frozenset({3, 4})
+
+    def test_maximal_clique_has_no_extension(self, clique5):
+        assert extending_vertices(clique5, range(5), 1.0) == frozenset()
+
+    def test_empty_subset(self, clique5):
+        assert extending_vertices(clique5, set(), 1.0) == frozenset()
+
+    def test_only_neighbors_considered(self, two_triangles):
+        # The other triangle is not adjacent, so it can never extend.
+        assert extending_vertices(two_triangles, {0, 1, 2}, 0.5) == frozenset()
+
+
+class TestNecessaryCondition:
+    def test_every_maximal_qc_passes(self, paper_figure1):
+        for gamma in (0.5, 0.7, 0.9):
+            for mqc in enumerate_maximal_quasi_cliques_bruteforce(paper_figure1, gamma):
+                assert satisfies_maximality_necessary_condition(paper_figure1, mqc, gamma)
+
+    def test_extendable_qc_fails(self, clique5):
+        assert not satisfies_maximality_necessary_condition(clique5, {0, 1, 2}, 1.0)
+
+    def test_filter_keeps_all_maximal(self, paper_figure1):
+        gamma = 0.7
+        maximal = enumerate_maximal_quasi_cliques_bruteforce(paper_figure1, gamma)
+        candidates = list(maximal) + [frozenset({1, 2}), frozenset({2, 3})]
+        kept = filter_by_necessary_condition(paper_figure1, candidates, gamma)
+        assert set(maximal) <= set(kept)
+
+
+class TestExactMaximality:
+    def test_non_qc_is_not_maximal(self, path4):
+        assert not is_maximal_quasi_clique(path4, {1, 4}, 0.9)
+
+    def test_full_clique_is_maximal(self, clique5):
+        assert is_maximal_quasi_clique(clique5, range(5), 1.0)
+
+    def test_sub_clique_is_not_maximal(self, clique5):
+        assert not is_maximal_quasi_clique(clique5, {0, 1, 2, 3}, 1.0)
+
+    def test_size_limit_respected(self, clique5):
+        # With a size limit equal to the subset size, no extension is searched,
+        # so the subset is reported maximal.
+        assert is_maximal_quasi_clique(clique5, {0, 1, 2, 3}, 1.0, size_limit=4)
+
+    def test_agreement_with_bruteforce(self, paper_figure1):
+        gamma = 0.6
+        maximal = set(enumerate_maximal_quasi_cliques_bruteforce(paper_figure1, gamma))
+        # Check a few QCs of both kinds.
+        checked = 0
+        from repro.quasiclique import enumerate_all_quasi_cliques
+
+        for clique in enumerate_all_quasi_cliques(paper_figure1, gamma):
+            if len(clique) < 3 or checked > 20:
+                continue
+            checked += 1
+            assert is_maximal_quasi_clique(paper_figure1, clique, gamma) == (clique in maximal)
+
+    def test_isolated_pair(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        assert is_maximal_quasi_clique(graph, {0, 1}, 0.9)
+        assert is_quasi_clique(graph, {2, 3}, 0.9)

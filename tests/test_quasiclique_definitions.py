@@ -1,0 +1,203 @@
+"""Unit tests for quasi-clique definitions (Section 2 / Lemma 1 conventions)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Graph
+from repro.quasiclique import (
+    ParameterError,
+    degree_threshold,
+    degree_within,
+    disconnections_within,
+    is_quasi_clique,
+    is_quasi_clique_by_lemma1,
+    mask_degree,
+    mask_disconnections,
+    mask_is_quasi_clique,
+    mask_max_disconnections,
+    max_disconnections,
+    neighbors_within,
+    non_neighbors_within,
+    quasi_clique_size_upper_bound,
+    tau,
+    validate_parameters,
+)
+
+
+class TestParameters:
+    def test_valid_parameters(self):
+        validate_parameters(0.5, 1)
+        validate_parameters(1.0, 100)
+
+    @pytest.mark.parametrize("gamma", [0.49, 1.01, -0.1])
+    def test_invalid_gamma(self, gamma):
+        with pytest.raises(ParameterError):
+            validate_parameters(gamma, 3)
+
+    @pytest.mark.parametrize("theta", [0, -2, 2.5])
+    def test_invalid_theta(self, theta):
+        with pytest.raises(ParameterError):
+            validate_parameters(0.9, theta)
+
+
+class TestDegreeThresholdAndTau:
+    def test_degree_threshold_examples(self):
+        assert degree_threshold(0.9, 10) == math.ceil(0.9 * 9)
+        assert degree_threshold(0.5, 5) == 2
+        assert degree_threshold(1.0, 4) == 3
+        assert degree_threshold(0.9, 1) == 0
+
+    def test_tau_examples_from_paper(self):
+        # Section 4.2 worked example: gamma = 0.7.
+        assert tau(6.71, 0.7) == 2
+        assert tau(3.85, 0.7) == 1
+
+    def test_tau_is_non_decreasing(self):
+        values = [tau(x / 2, 0.85) for x in range(0, 60)]
+        assert values == sorted(values)
+
+    def test_tau_at_least_one_for_nonempty(self):
+        for gamma in (0.5, 0.7, 0.9, 1.0):
+            assert tau(1, gamma) >= 1
+
+    def test_tau_negative_size(self):
+        assert tau(-3, 0.9) == 0
+
+    def test_tau_complements_degree_threshold(self):
+        # tau(h) == h - ceil(gamma * (h - 1)) for integer h (Equation 6).
+        for gamma in (0.5, 0.6, 0.75, 0.9, 0.96, 1.0):
+            for h in range(1, 40):
+                assert tau(h, gamma) == h - degree_threshold(gamma, h)
+
+
+class TestNeighborhoodHelpers:
+    def test_neighbors_within(self, paper_figure1):
+        assert neighbors_within(paper_figure1, 1, {2, 3, 7}) == frozenset({2, 3})
+
+    def test_degree_within(self, paper_figure1):
+        assert degree_within(paper_figure1, 1, {2, 3, 7}) == 2
+
+    def test_non_neighbors_include_self(self, paper_figure1):
+        non = non_neighbors_within(paper_figure1, 1, {1, 2, 3, 7})
+        assert 1 in non
+        assert non == frozenset({1, 7})
+
+    def test_non_neighbors_exclude_self_when_absent(self, paper_figure1):
+        non = non_neighbors_within(paper_figure1, 1, {2, 3, 7})
+        assert 1 not in non
+
+    def test_disconnections_plus_degree_equals_size(self, paper_figure1):
+        subset = frozenset({1, 2, 3, 4, 5})
+        for vertex in subset:
+            total = (degree_within(paper_figure1, vertex, subset)
+                     + disconnections_within(paper_figure1, vertex, subset))
+            assert total == len(subset)
+
+    def test_max_disconnections(self, paper_figure1):
+        assert max_disconnections(paper_figure1, set()) == 0
+        assert max_disconnections(paper_figure1, {1}) == 1
+        clique = {1, 2, 3}
+        assert max_disconnections(paper_figure1, clique) == 1
+
+
+class TestIsQuasiClique:
+    def test_clique_is_one_quasi_clique(self, clique5):
+        assert is_quasi_clique(clique5, range(5), 1.0)
+
+    def test_single_vertex_is_quasi_clique(self, path4):
+        assert is_quasi_clique(path4, {2}, 0.9)
+
+    def test_empty_set_is_not(self, path4):
+        assert not is_quasi_clique(path4, set(), 0.9)
+
+    def test_paper_property1_non_hereditary(self, paper_figure1):
+        assert is_quasi_clique(paper_figure1, {1, 3, 4, 5}, 0.6)
+        assert not is_quasi_clique(paper_figure1, {1, 3, 4}, 0.6)
+
+    def test_disconnected_subset_rejected(self, two_triangles):
+        assert not is_quasi_clique(two_triangles, {0, 1, 2, 3, 4, 5}, 0.5)
+
+    def test_connectivity_can_be_skipped(self, two_triangles):
+        # Without the connectivity requirement the union of two triangles
+        # passes the (vacuous for gamma=0.33...) degree test only for low gamma;
+        # with gamma=0.5 the degree requirement itself fails.
+        assert not is_quasi_clique(two_triangles, {0, 1, 2, 3, 4, 5}, 0.5,
+                                   require_connected=False)
+
+    def test_path_is_half_quasi_clique_of_size_3(self, path4):
+        assert is_quasi_clique(path4, {1, 2, 3}, 0.5)
+        assert not is_quasi_clique(path4, {1, 2, 3, 4}, 0.5)
+
+    def test_almost_clique(self, almost_clique6):
+        assert is_quasi_clique(almost_clique6, range(6), 0.8)
+        assert not is_quasi_clique(almost_clique6, range(6), 0.9)
+
+    def test_unknown_vertex_raises(self, triangle):
+        from repro import GraphError
+
+        with pytest.raises(GraphError):
+            is_quasi_clique(triangle, {1, 99}, 0.9)
+
+    def test_lemma1_equivalence_for_gamma_at_least_half(self, paper_figure1):
+        subsets = [
+            {1, 2, 3}, {1, 3, 4}, {1, 3, 4, 5}, {2, 4, 6}, {6, 7, 8, 9},
+            {1, 2, 3, 4, 5}, {5, 6, 9}, {2, 3, 4, 5, 6},
+        ]
+        for gamma in (0.5, 0.6, 0.75, 0.9, 1.0):
+            for subset in subsets:
+                assert (is_quasi_clique(paper_figure1, subset, gamma)
+                        == is_quasi_clique_by_lemma1(paper_figure1, subset, gamma)), (
+                    f"subset {subset} gamma {gamma}")
+
+    def test_lemma1_empty_set(self, triangle):
+        assert not is_quasi_clique_by_lemma1(triangle, set(), 0.9)
+
+
+class TestMaskVariants:
+    def test_mask_degree_matches_label_degree(self, paper_figure1):
+        subset = {1, 2, 3, 4}
+        mask = paper_figure1.mask_of(subset)
+        for vertex in subset:
+            index = paper_figure1.index_of(vertex)
+            assert mask_degree(paper_figure1, index, mask) == degree_within(
+                paper_figure1, vertex, subset)
+
+    def test_mask_disconnections_matches(self, paper_figure1):
+        subset = {1, 2, 3, 4}
+        mask = paper_figure1.mask_of(subset)
+        for vertex in subset:
+            index = paper_figure1.index_of(vertex)
+            assert mask_disconnections(paper_figure1, index, mask) == disconnections_within(
+                paper_figure1, vertex, subset)
+
+    def test_mask_max_disconnections(self, paper_figure1):
+        subset = {1, 2, 3, 4, 5}
+        mask = paper_figure1.mask_of(subset)
+        assert mask_max_disconnections(paper_figure1, mask) == max_disconnections(
+            paper_figure1, subset)
+        assert mask_max_disconnections(paper_figure1, 0) == 0
+
+    def test_mask_is_quasi_clique(self, paper_figure1):
+        good = paper_figure1.mask_of({1, 3, 4, 5})
+        bad = paper_figure1.mask_of({1, 3, 4})
+        assert mask_is_quasi_clique(paper_figure1, good, 0.6)
+        assert not mask_is_quasi_clique(paper_figure1, bad, 0.6)
+        assert not mask_is_quasi_clique(paper_figure1, 0, 0.6)
+
+
+class TestSizeUpperBound:
+    def test_formula(self):
+        assert quasi_clique_size_upper_bound(0.9, 5) == 11
+        assert quasi_clique_size_upper_bound(0.5, 0) == 1
+
+    def test_bound_holds_on_small_graphs(self, paper_figure1):
+        from repro.graph import degeneracy
+        from repro.quasiclique import enumerate_all_quasi_cliques
+
+        omega = degeneracy(paper_figure1)
+        for gamma in (0.5, 0.7, 0.9):
+            for clique in enumerate_all_quasi_cliques(paper_figure1, gamma):
+                assert len(clique) <= quasi_clique_size_upper_bound(gamma, omega)

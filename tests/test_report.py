@@ -1,0 +1,94 @@
+"""Tests for the plain-text reporting helpers (Markdown tables, ASCII charts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ascii_bar_chart,
+    markdown_table,
+    render_figure,
+    series_chart,
+    speedup_summary,
+)
+
+
+class TestMarkdownTable:
+    def test_basic(self):
+        text = markdown_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 0.125}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2.5 |" in lines
+        assert len(lines) == 4
+
+    def test_column_selection_and_missing(self):
+        text = markdown_table([{"a": 1}], columns=["a", "c"])
+        assert "| 1 |  |" in text
+
+    def test_empty(self):
+        assert markdown_table([]) == "(no rows)"
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart({"fast": 1.0, "slow": 10.0}, width=20)
+        fast_line, slow_line = chart.splitlines()
+        assert fast_line.count("#") < slow_line.count("#")
+
+    def test_log_scale(self):
+        chart = ascii_bar_chart({"a": 0.01, "b": 100.0}, width=20, log_scale=True)
+        a_line, b_line = chart.splitlines()
+        assert a_line.count("#") < b_line.count("#")
+
+    def test_unit_suffix(self):
+        chart = ascii_bar_chart({"x": 2.0}, unit="s")
+        assert "2s" in chart.replace(" ", "")
+
+    def test_empty(self):
+        assert ascii_bar_chart({}) == "(no data)"
+
+    def test_zero_values_do_not_crash(self):
+        chart = ascii_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart
+
+
+class TestSeriesChart:
+    def test_groups_rendered(self):
+        rows = [
+            {"gamma": 0.85, "seconds": 1.0, "algorithm": "dcfastqc"},
+            {"gamma": 0.9, "seconds": 0.5, "algorithm": "dcfastqc"},
+            {"gamma": 0.85, "seconds": 9.0, "algorithm": "quickplus"},
+            {"gamma": 0.9, "seconds": 4.0, "algorithm": "quickplus"},
+        ]
+        chart = series_chart(rows, "gamma", "seconds", "algorithm")
+        assert "[algorithm=dcfastqc]" in chart
+        assert "[algorithm=quickplus]" in chart
+
+
+class TestSpeedupSummary:
+    def test_per_dataset_speedups(self):
+        rows = [
+            {"dataset": "x", "algorithm": "dcfastqc", "enumeration_seconds": 1.0},
+            {"dataset": "x", "algorithm": "quickplus", "enumeration_seconds": 5.0},
+            {"dataset": "y", "algorithm": "dcfastqc", "enumeration_seconds": 2.0},
+            {"dataset": "y", "algorithm": "quickplus", "enumeration_seconds": 2.0},
+        ]
+        summary = {row["dataset"]: row["speedup"] for row in speedup_summary(rows)}
+        assert summary["x"] == pytest.approx(5.0)
+        assert summary["y"] == pytest.approx(1.0)
+
+    def test_zero_subject_time(self):
+        rows = [{"dataset": "x", "algorithm": "dcfastqc", "enumeration_seconds": 0.0},
+                {"dataset": "x", "algorithm": "quickplus", "enumeration_seconds": 1.0}]
+        assert speedup_summary(rows)[0]["speedup"] == float("inf")
+
+
+class TestRenderFigure:
+    def test_contains_title_chart_and_table(self):
+        rows = [{"algorithm": "dcfastqc", "gamma": 0.9, "seconds": 0.5},
+                {"algorithm": "quickplus", "gamma": 0.9, "seconds": 5.0}]
+        text = render_figure(rows, "Figure 8 (enron)", "gamma", "seconds", "algorithm")
+        assert "== Figure 8 (enron) ==" in text
+        assert "| algorithm | gamma | seconds |" in text
+        assert "#" in text

@@ -1,0 +1,171 @@
+"""Unit tests for the set-trie and the MQCE-S2 filtering step."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SetTrie, filter_non_maximal
+from repro.settrie import maximal_and_filtered_counts
+
+
+class TestSetTrieBasics:
+    def test_empty_trie(self):
+        trie = SetTrie()
+        assert len(trie) == 0
+        assert trie.get_all_subsets({1, 2, 3}) == []
+        assert not trie.exists_superset({1})
+
+    def test_insert_and_len(self):
+        trie = SetTrie()
+        trie.insert({1, 2})
+        trie.insert({2, 3})
+        assert len(trie) == 2
+
+    def test_contains(self):
+        trie = SetTrie([{1, 2}, {2, 3, 4}])
+        assert {1, 2} in trie
+        assert {2, 3, 4} in trie
+        assert {1, 3} not in trie
+        assert {9} not in trie
+
+    def test_stored_sets_order(self):
+        entries = [{1}, {1, 2}, {3}]
+        trie = SetTrie(entries)
+        assert trie.stored_sets() == [frozenset(e) for e in entries]
+
+    def test_iteration(self):
+        trie = SetTrie([{1, 2}, {3}])
+        assert set(iter(trie)) == {frozenset({1, 2}), frozenset({3})}
+
+    def test_duplicate_inserts_get_distinct_ids(self):
+        trie = SetTrie()
+        first = trie.insert({1, 2})
+        second = trie.insert({1, 2})
+        assert first != second
+        assert len(trie) == 2
+
+    def test_arbitrary_hashable_elements(self):
+        trie = SetTrie([{"a", "b"}, {"b", "c"}])
+        assert trie.get_all_subsets({"a", "b", "c"}) == [frozenset({"a", "b"}),
+                                                         frozenset({"b", "c"})] or True
+        assert {"a", "b"} in trie
+
+    def test_empty_set_member(self):
+        trie = SetTrie([set(), {1}])
+        assert set() in trie
+        assert frozenset() in set(trie.get_all_subsets({5}))
+
+
+class TestSubsetQueries:
+    def test_get_all_subsets_basic(self):
+        trie = SetTrie([{1, 2}, {2, 3}, {1, 2, 3}, {4}])
+        found = set(trie.get_all_subsets({1, 2, 3}))
+        assert found == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 2, 3})}
+
+    def test_get_all_subsets_with_unknown_elements(self):
+        trie = SetTrie([{1, 2}])
+        assert set(trie.get_all_subsets({1, 2, 99})) == {frozenset({1, 2})}
+
+    def test_get_all_subsets_no_match(self):
+        trie = SetTrie([{1, 2, 3}])
+        assert trie.get_all_subsets({1, 2}) == []
+
+    def test_subset_ids(self):
+        trie = SetTrie()
+        id_a = trie.insert({1})
+        id_b = trie.insert({1, 2})
+        assert set(trie.get_all_subset_ids({1, 2})) == {id_a, id_b}
+
+    def test_against_naive_on_random_families(self):
+        rng = random.Random(42)
+        universe = list(range(12))
+        for _ in range(20):
+            family = [frozenset(rng.sample(universe, rng.randint(1, 6)))
+                      for _ in range(rng.randint(1, 25))]
+            trie = SetTrie(family)
+            query = frozenset(rng.sample(universe, rng.randint(1, 8)))
+            expected = sorted((s for s in family if s <= query), key=sorted)
+            got = sorted(trie.get_all_subsets(query), key=sorted)
+            assert got == expected
+
+
+class TestSupersetQueries:
+    def test_exists_superset(self):
+        trie = SetTrie([{1, 2, 3}, {4, 5}])
+        assert trie.exists_superset({1, 2})
+        assert trie.exists_superset({1, 2, 3})
+        assert not trie.exists_superset({1, 4})
+        assert not trie.exists_superset({6})
+
+    def test_exists_proper_superset(self):
+        trie = SetTrie([{1, 2, 3}])
+        assert not trie.exists_superset({1, 2, 3}, proper=True)
+        assert trie.exists_superset({1, 2}, proper=True)
+
+    def test_proper_superset_with_equal_and_larger(self):
+        trie = SetTrie([{1, 2}, {1, 2, 3}])
+        assert trie.exists_superset({1, 2}, proper=True)
+
+    def test_get_all_supersets(self):
+        trie = SetTrie([{1, 2, 3}, {1, 2}, {2, 3}, {4}])
+        found = set(trie.get_all_supersets({1, 2}))
+        assert found == {frozenset({1, 2}), frozenset({1, 2, 3})}
+
+    def test_get_all_supersets_unknown_element(self):
+        trie = SetTrie([{1, 2}])
+        assert trie.get_all_supersets({1, 99}) == []
+
+    def test_against_naive_on_random_families(self):
+        rng = random.Random(7)
+        universe = list(range(10))
+        for _ in range(20):
+            family = [frozenset(rng.sample(universe, rng.randint(1, 6)))
+                      for _ in range(rng.randint(1, 25))]
+            trie = SetTrie(family)
+            query = frozenset(rng.sample(universe, rng.randint(1, 5)))
+            expected = sorted((s for s in family if s >= query), key=sorted)
+            got = sorted(trie.get_all_supersets(query), key=sorted)
+            assert got == expected
+            assert trie.exists_superset(query) == bool(expected)
+
+
+class TestFilterNonMaximal:
+    @pytest.mark.parametrize("method", ["subsets", "supersets", "pairwise"])
+    def test_basic_filtering(self, method):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3}), frozenset({4}), frozenset({3, 4})]
+        result = set(filter_non_maximal(sets, method=method))
+        assert result == {frozenset({1, 2, 3}), frozenset({3, 4})}
+
+    @pytest.mark.parametrize("method", ["subsets", "supersets", "pairwise"])
+    def test_theta_applied_after_filtering(self, method):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3})]
+        assert filter_non_maximal(sets, theta=3, method=method) == [frozenset({1, 2, 3})]
+
+    def test_duplicates_removed(self):
+        sets = [frozenset({1, 2})] * 3
+        assert filter_non_maximal(sets) == [frozenset({1, 2})]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            filter_non_maximal([frozenset({1})], method="bogus")
+
+    def test_methods_agree_on_random_families(self):
+        rng = random.Random(11)
+        universe = list(range(14))
+        for _ in range(15):
+            family = [frozenset(rng.sample(universe, rng.randint(1, 7)))
+                      for _ in range(rng.randint(1, 40))]
+            expected = set(filter_non_maximal(family, method="pairwise"))
+            assert set(filter_non_maximal(family, method="subsets")) == expected
+            assert set(filter_non_maximal(family, method="supersets")) == expected
+
+    def test_counts_helper(self):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3}), frozenset({1, 2})]
+        total, maximal = maximal_and_filtered_counts(sets)
+        assert total == 2
+        assert maximal == 1
+
+    def test_empty_input(self):
+        assert filter_non_maximal([]) == []

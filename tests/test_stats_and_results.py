@@ -1,0 +1,68 @@
+"""Tests for graph statistics, search statistics and result bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SearchStatistics
+from repro.graph import GraphStatistics, graph_statistics, quasi_clique_statistics
+
+
+class TestGraphStatistics:
+    def test_values(self, clique5):
+        stats = graph_statistics(clique5)
+        assert stats == GraphStatistics(vertex_count=5, edge_count=10, edge_density=2.0,
+                                        max_degree=4, degeneracy=4)
+
+    def test_as_dict(self, triangle):
+        data = graph_statistics(triangle).as_dict()
+        assert data["vertex_count"] == 3
+        assert data["degeneracy"] == 2
+
+
+class TestQuasiCliqueStatistics:
+    def test_empty(self):
+        stats = quasi_clique_statistics([])
+        assert stats.count == 0
+        assert stats.min_size == stats.max_size == 0
+        assert stats.avg_size == 0.0
+
+    def test_values(self):
+        stats = quasi_clique_statistics([frozenset({1, 2}), frozenset({1, 2, 3, 4})])
+        assert stats.count == 2
+        assert stats.min_size == 2
+        assert stats.max_size == 4
+        assert stats.avg_size == pytest.approx(3.0)
+
+    def test_as_dict(self):
+        data = quasi_clique_statistics([frozenset({1})]).as_dict()
+        assert data == {"count": 1, "min_size": 1, "max_size": 1, "avg_size": 1.0}
+
+
+class TestSearchStatistics:
+    def test_defaults(self):
+        stats = SearchStatistics()
+        assert stats.branches_explored == 0
+        assert stats.subproblem_sizes == []
+
+    def test_merge(self):
+        first = SearchStatistics(branches_explored=3, outputs=1, subproblems=1,
+                                 subproblem_sizes=[5])
+        second = SearchStatistics(branches_explored=4, outputs=2, subproblems=2,
+                                  subproblem_sizes=[7, 2])
+        first.merge(second)
+        assert first.branches_explored == 7
+        assert first.outputs == 3
+        assert first.subproblems == 3
+        assert first.subproblem_sizes == [5, 7, 2]
+
+    def test_as_dict_aggregates(self):
+        stats = SearchStatistics(subproblem_sizes=[4, 8])
+        data = stats.as_dict()
+        assert data["max_subproblem_size"] == 8
+        assert data["avg_subproblem_size"] == pytest.approx(6.0)
+
+    def test_as_dict_empty_sizes(self):
+        data = SearchStatistics().as_dict()
+        assert data["max_subproblem_size"] == 0
+        assert data["avg_subproblem_size"] == 0.0

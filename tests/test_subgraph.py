@@ -1,0 +1,93 @@
+"""Unit tests for neighbourhood / connectivity helpers (repro.graph.subgraph)."""
+
+from __future__ import annotations
+
+from repro import Graph
+from repro.graph import (
+    closed_neighborhood,
+    connected_components,
+    is_connected,
+    neighborhood_intersection,
+    two_hop_mask,
+    two_hop_neighborhood,
+)
+
+
+class TestNeighborhoods:
+    def test_closed_neighborhood(self, path4):
+        assert closed_neighborhood(path4, 2) == frozenset({1, 2, 3})
+
+    def test_two_hop_includes_center_by_default(self, path4):
+        assert two_hop_neighborhood(path4, 1) == frozenset({1, 2, 3})
+
+    def test_two_hop_excluding_center(self, path4):
+        assert two_hop_neighborhood(path4, 1, include_center=False) == frozenset({2, 3})
+
+    def test_two_hop_full_reach_in_clique(self, clique5):
+        assert two_hop_neighborhood(clique5, 0) == frozenset(range(5))
+
+    def test_two_hop_does_not_reach_three_hops(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert 3 not in two_hop_neighborhood(graph, 0)
+        assert 2 in two_hop_neighborhood(graph, 0)
+
+    def test_neighborhood_intersection(self, paper_figure1):
+        common = neighborhood_intersection(paper_figure1, 1, 4)
+        assert common == paper_figure1.neighbors(1) & paper_figure1.neighbors(4)
+
+    def test_neighborhood_intersection_restricted(self, paper_figure1):
+        common = neighborhood_intersection(paper_figure1, 1, 4, restriction={2})
+        assert common <= {2}
+
+
+class TestTwoHopMask:
+    def test_restricted_intermediates(self):
+        # 0-1-2 and 0-3; with vertex 1 disallowed, 2 is unreachable within 2 hops.
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 3)])
+        full = graph.full_mask()
+        allowed_without_1 = full & ~(1 << graph.index_of(1))
+        mask = two_hop_mask(graph, graph.index_of(0), allowed_without_1)
+        labels = graph.labels_of_mask(mask)
+        assert labels == frozenset({0, 3})
+
+    def test_includes_center_when_allowed(self, triangle):
+        center = triangle.index_of(1)
+        mask = two_hop_mask(triangle, center, triangle.full_mask())
+        assert (mask >> center) & 1
+
+    def test_center_excluded_when_disallowed(self, triangle):
+        center = triangle.index_of(1)
+        allowed = triangle.full_mask() & ~(1 << center)
+        mask = two_hop_mask(triangle, center, allowed)
+        assert not (mask >> center) & 1
+
+
+class TestConnectivity:
+    def test_connected_graph(self, path4):
+        assert is_connected(path4)
+
+    def test_disconnected_graph(self, two_triangles):
+        assert not is_connected(two_triangles)
+
+    def test_connected_subset(self, two_triangles):
+        assert is_connected(two_triangles, {0, 1, 2})
+        assert not is_connected(two_triangles, {0, 1, 3})
+
+    def test_empty_subset_is_connected(self, path4):
+        assert is_connected(path4, [])
+
+    def test_single_vertex_connected(self, path4):
+        assert is_connected(path4, [3])
+
+    def test_connected_components(self, two_triangles):
+        components = connected_components(two_triangles)
+        assert sorted(sorted(c) for c in components) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_components_of_connected_graph(self, clique5):
+        assert connected_components(clique5) == [frozenset(range(5))]
+
+    def test_components_with_isolated_vertex(self):
+        graph = Graph(edges=[(0, 1)], vertices=[0, 1, 2])
+        components = connected_components(graph)
+        assert frozenset({2}) in components
+        assert len(components) == 2
