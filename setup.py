@@ -1,11 +1,38 @@
-"""Setuptools shim.
+"""Package metadata and console entry points.
 
-The project is fully described by ``pyproject.toml``; this file exists so the
-package can also be installed in environments without the ``wheel`` package
-(legacy editable installs via ``pip install -e . --no-use-pep517`` or
-``python setup.py develop``).
+``pip install -e .`` exposes the library as ``repro`` and installs the
+``repro`` / ``repro-mqce`` command-line tools (both run :func:`repro.cli.main`;
+the short name is the documented one, the long name is kept for
+backwards-compatibility with earlier scripts).
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-mqce",
+    version="1.0.0",
+    description=(
+        "Maximal quasi-clique enumeration (FastQC / DCFastQC / Quick+) with a "
+        "persistent query engine: prepared graphs, cost-based plan selection "
+        "and LRU result caching"
+    ),
+    long_description=Path(__file__).with_name("README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-mqce=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

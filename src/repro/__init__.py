@@ -9,6 +9,8 @@ provides
 * :class:`repro.FastQC`, :class:`repro.DCFastQC`, :class:`repro.QuickPlus` —
   the MQCE-S1 branch-and-bound algorithms,
 * :func:`repro.filter_non_maximal` — the set-trie based MQCE-S2 filter,
+* :class:`repro.MQCEEngine` — the persistent query engine (prepared graphs,
+  cost-based plan selection, LRU result caching) for repeated queries,
 * ``repro.datasets`` / ``repro.experiments`` — dataset analogues and the
   table/figure reproduction harness.
 
@@ -43,7 +45,15 @@ from .extensions import (
     find_quasi_cliques_containing,
     kernel_expansion_top_k,
 )
-from . import datasets, experiments, extensions
+from .engine import (
+    MQCEEngine,
+    PreparedGraph,
+    QueryPlan,
+    QueryPlanner,
+    ResultCache,
+    prepare_graph,
+)
+from . import datasets, engine, experiments, extensions
 
 __version__ = "1.0.0"
 
@@ -72,7 +82,14 @@ __all__ = [
     "find_largest_quasi_cliques",
     "find_quasi_cliques_containing",
     "kernel_expansion_top_k",
+    "MQCEEngine",
+    "PreparedGraph",
+    "QueryPlan",
+    "QueryPlanner",
+    "ResultCache",
+    "prepare_graph",
     "datasets",
+    "engine",
     "experiments",
     "extensions",
     "__version__",

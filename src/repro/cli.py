@@ -10,6 +10,11 @@ Sub-commands
 ``datasets``   List the registered dataset analogues and their defaults.
 ``table1``     Regenerate the Table 1 rows on the dataset analogues.
 ``figure``     Regenerate one of the paper's figures (7, 8, 9, 10, 11, 12).
+``engine``     The persistent query engine: ``engine query`` (one cached MQCE
+               query, optionally repeated), ``engine batch`` (a gamma x theta
+               grid through one engine), ``engine explain`` (print the chosen
+               plan without enumerating) and ``engine stats`` (prepared-graph
+               artifacts and timings).
 """
 
 from __future__ import annotations
@@ -17,8 +22,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
-from .datasets.registry import REGISTRY, get_spec, load_dataset
+from .datasets.registry import REGISTRY, get_spec, load_dataset, load_prepared
+from .engine import MQCEEngine, QueryRequest, prepare_graph
 from .experiments import figures as figure_module
 from .experiments.harness import format_table
 from .experiments.tables import table1_rows
@@ -164,6 +171,117 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# The `engine` sub-command group
+# ----------------------------------------------------------------------
+def _load_prepared(args: argparse.Namespace):
+    """Load the graph as a named PreparedGraph (datasets keep their name)."""
+    if args.dataset:
+        return load_prepared(args.dataset)
+    if args.input:
+        return prepare_graph(read_edge_list(args.input), name=args.input)
+    raise SystemExit("either --input FILE or --dataset NAME is required")
+
+
+def _require_parameters(args: argparse.Namespace) -> tuple[float, int]:
+    gamma, theta = _resolve_defaults(args)
+    if gamma is None or theta is None:
+        raise SystemExit("--gamma and --theta are required for --input graphs")
+    return gamma, theta
+
+
+def _command_engine_query(args: argparse.Namespace) -> int:
+    prepared = _load_prepared(args)
+    gamma, theta = _require_parameters(args)
+    engine = MQCEEngine()
+    repeats = max(1, args.repeat)
+    # Planned once here; the query loop reuses the memoized plan.
+    plan = engine.explain(prepared, gamma, theta, algorithm=args.algorithm,
+                          branching=args.branching)
+    result = None
+    for _ in range(repeats):
+        result = engine.query(prepared, gamma, theta, algorithm=args.algorithm,
+                              branching=args.branching)
+    stats = engine.stats()
+    if args.json:
+        print(json.dumps({"result": result.summary(), "plan": plan.as_dict(),
+                          "engine": stats}, indent=2))
+    else:
+        print(f"# {result.maximal_count} maximal {gamma}-quasi-cliques with >= {theta} "
+              f"vertices ({plan.algorithm}, planned, {result.total_seconds:.3f}s "
+              f"enumerated once)")
+        for clique in result.maximal_quasi_cliques:
+            print(" ".join(str(v) for v in sorted(clique, key=str)))
+        cache = stats["cache"]
+        print(f"# engine: {stats['queries']} queries, {cache['hits']} cache hits, "
+              f"{cache['misses']} misses (hit rate {cache['hit_rate']:.0%})")
+    if args.output:
+        write_quasi_cliques(result.maximal_quasi_cliques, args.output)
+    return 0
+
+
+def _parse_float_list(text: str) -> list[float]:
+    return [float(token) for token in text.split(",") if token.strip()]
+
+
+def _parse_int_list(text: str) -> list[int]:
+    return [int(token) for token in text.split(",") if token.strip()]
+
+
+def _command_engine_batch(args: argparse.Namespace) -> int:
+    prepared = _load_prepared(args)
+    default_gamma, default_theta = _require_parameters(args)
+    gammas = _parse_float_list(args.gammas) if args.gammas else [default_gamma]
+    thetas = _parse_int_list(args.thetas) if args.thetas else [default_theta]
+    requests = [QueryRequest(gamma, theta, algorithm=args.algorithm)
+                for gamma in gammas for theta in thetas]
+    engine = MQCEEngine()
+    start = time.perf_counter()
+    results = engine.query_batch(prepared, requests * max(1, args.repeat))
+    elapsed = time.perf_counter() - start
+    rows = []
+    for request, result in zip(requests, results):
+        rows.append({
+            "gamma": request.gamma, "theta": request.theta,
+            "algorithm": result.algorithm, "maximal": result.maximal_count,
+            "seconds": round(result.total_seconds, 4),
+        })
+    stats = engine.stats()
+    if args.json:
+        print(json.dumps({"rows": rows, "engine": stats,
+                          "wall_seconds": elapsed,
+                          "queries_per_second": len(results) / elapsed if elapsed else 0.0},
+                         indent=2))
+    else:
+        print(format_table(rows))
+        cache = stats["cache"]
+        print(f"# {len(results)} queries in {elapsed:.3f}s "
+              f"({len(results) / elapsed:.1f} q/s), {cache['hits']} served from cache")
+    return 0
+
+
+def _command_engine_explain(args: argparse.Namespace) -> int:
+    prepared = _load_prepared(args)
+    gamma, theta = _require_parameters(args)
+    plan = MQCEEngine().explain(prepared, gamma, theta, algorithm=args.algorithm,
+                                branching=args.branching)
+    if args.json:
+        print(json.dumps(plan.as_dict(), indent=2))
+    else:
+        print(plan.describe())
+    return 0
+
+
+def _command_engine_stats(args: argparse.Namespace) -> int:
+    prepared = _load_prepared(args).prepare()
+    summary = prepared.summary()
+    summary["preparation_seconds"] = {
+        artifact: round(seconds, 6)
+        for artifact, seconds in prepared.preparation_seconds.items()}
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mqce",
@@ -212,6 +330,54 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser = subparsers.add_parser("figure", help="regenerate a figure")
     figure_parser.add_argument("figure", choices=sorted(_FIGURE_DISPATCH))
     figure_parser.set_defaults(handler=_command_figure)
+
+    engine_parser = subparsers.add_parser(
+        "engine", help="persistent query engine (prepared graphs, plans, caching)")
+    engine_subparsers = engine_parser.add_subparsers(dest="engine_command", required=True)
+
+    def _add_engine_parameters(sub: argparse.ArgumentParser,
+                               branching: bool = True) -> None:
+        _add_graph_arguments(sub)
+        sub.add_argument("--gamma", "-g", type=float, help="degree fraction in [0.5, 1]")
+        sub.add_argument("--theta", "-t", type=int, help="minimum quasi-clique size")
+        sub.add_argument("--algorithm", "-a", choices=("auto",) + ALGORITHMS,
+                         default="auto", help="force the MQCE-S1 algorithm "
+                         "(default: let the planner decide)")
+        if branching:
+            sub.add_argument("--branching", choices=("hybrid", "sym-se", "se"),
+                             help="force the branching rule")
+
+    query_sub = engine_subparsers.add_parser(
+        "query", help="run one MQCE query through the engine")
+    _add_engine_parameters(query_sub)
+    query_sub.add_argument("--repeat", type=int, default=1,
+                           help="run the query N times (repeats hit the cache)")
+    query_sub.add_argument("--output", "-o", help="write the MQCs to this file")
+    query_sub.add_argument("--json", action="store_true", help="print JSON only")
+    query_sub.set_defaults(handler=_command_engine_query)
+
+    batch_sub = engine_subparsers.add_parser(
+        "batch", help="run a gamma x theta parameter grid through one engine")
+    _add_engine_parameters(batch_sub, branching=False)
+    batch_sub.add_argument("--gammas", help="comma-separated gamma values "
+                           "(default: the single --gamma / dataset default)")
+    batch_sub.add_argument("--thetas", help="comma-separated theta values "
+                           "(default: the single --theta / dataset default)")
+    batch_sub.add_argument("--repeat", type=int, default=1,
+                           help="repeat the whole grid N times (cache demo)")
+    batch_sub.add_argument("--json", action="store_true", help="print JSON only")
+    batch_sub.set_defaults(handler=_command_engine_batch)
+
+    explain_sub = engine_subparsers.add_parser(
+        "explain", help="print the query plan without running the enumeration")
+    _add_engine_parameters(explain_sub)
+    explain_sub.add_argument("--json", action="store_true", help="print JSON only")
+    explain_sub.set_defaults(handler=_command_engine_explain)
+
+    stats_sub = engine_subparsers.add_parser(
+        "stats", help="prepare the graph and print its artifacts and timings")
+    _add_graph_arguments(stats_sub)
+    stats_sub.set_defaults(handler=_command_engine_stats)
 
     return parser
 

@@ -9,6 +9,7 @@ from .registry import (
     default_parameters,
     get_spec,
     load_dataset,
+    load_prepared,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "default_parameters",
     "get_spec",
     "load_dataset",
+    "load_prepared",
 ]

@@ -155,6 +155,18 @@ def load_dataset(name: str) -> Graph:
     return get_spec(name).build()
 
 
+def load_prepared(name: str):
+    """Build a registered dataset as an engine :class:`~repro.engine.PreparedGraph`.
+
+    Convenience for query-engine workloads: the returned prepared graph
+    carries the dataset name (shown by ``repro engine explain``/``stats``) and
+    memoizes the preprocessing across every query made against it.
+    """
+    from ..engine.prepared import PreparedGraph  # lazy: engine builds on datasets users
+
+    return PreparedGraph(load_dataset(name), name=get_spec(name).name)
+
+
 def default_parameters(name: str) -> tuple[float, int]:
     """Return the (gamma, theta) defaults of a registered dataset."""
     spec = get_spec(name)

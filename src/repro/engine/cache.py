@@ -1,0 +1,109 @@
+"""Bounded LRU cache for MQCE query results.
+
+Results are keyed by ``(fingerprint, gamma, theta, algorithm, branching,
+framework)`` — everything that determines the *content* of an
+:class:`~repro.pipeline.results.EnumerationResult`.  The gamma component is
+normalised through :func:`~repro.quasiclique.definitions.gamma_fraction`, so
+``0.9`` and ``Fraction(9, 10)`` address the same entry, exactly as they define
+the same quasi-clique threshold.
+
+The cache is a plain ``OrderedDict`` LRU with hit / miss / eviction / insert
+counters; it stores whatever the engine puts in it and never copies — the
+engine is responsible for handing out defensive copies of mutable results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, asdict
+from typing import Any, Hashable
+
+from ..quasiclique.definitions import gamma_fraction
+
+DEFAULT_CAPACITY = 128
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["hit_rate"] = self.hit_rate
+        return data
+
+
+class ResultCache:
+    """A bounded least-recently-used mapping with usage counters."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be a positive integer")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def make_key(fingerprint: str, gamma: float, theta: int, algorithm: str,
+                 branching: str, framework: str) -> tuple:
+        """Build the canonical cache key for one query configuration."""
+        return (fingerprint, gamma_fraction(gamma), int(theta),
+                algorithm, branching, framework)
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value (refreshing recency) or None, counting the lookup."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the least recently used on overflow."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        self.stats.inserts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does not touch recency or the counters."""
+        return key in self._entries
+
+    def keys(self) -> list:
+        """Keys from least to most recently used."""
+        return list(self._entries)
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry; optionally reset the counters too."""
+        self._entries.clear()
+        if reset_stats:
+            self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (f"ResultCache(size={len(self)}/{self.capacity}, "
+                f"hits={self.stats.hits}, misses={self.stats.misses}, "
+                f"evictions={self.stats.evictions})")

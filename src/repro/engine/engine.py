@@ -1,0 +1,281 @@
+"""The MQCE query engine: prepared graphs + plan selection + result caching.
+
+:class:`MQCEEngine` is the persistent facade the one-shot
+:func:`repro.find_maximal_quasi_cliques` pipeline lacks.  A query flows
+through three stages:
+
+1. **Prepare** — the graph is wrapped in a
+   :class:`~repro.engine.prepared.PreparedGraph` (memoized core decomposition,
+   ordering, components, fingerprint).  A plain graph is prepared once and the
+   preparation attached to the graph object itself, so it lives exactly as
+   long as the graph does (and is shared by every engine that sees the graph).
+2. **Plan** — the :class:`~repro.engine.planner.QueryPlanner` picks the
+   MQCE-S1 algorithm, branching rule and (for large cores) process-level
+   parallelism from the prepared statistics; :meth:`MQCEEngine.explain`
+   returns this plan without enumerating anything.
+3. **Execute or hit** — the plan key is looked up in the LRU
+   :class:`~repro.engine.cache.ResultCache`; on a miss the plan is executed
+   through the existing :mod:`repro.pipeline.mqce` internals (or
+   :class:`~repro.extensions.parallel.ParallelDCFastQC` when the plan says
+   so) and the result is cached.
+
+Results are regular :class:`~repro.pipeline.results.EnumerationResult`
+objects, bit-identical in content to what ``find_maximal_quasi_cliques``
+returns for the same parameters; cache hits hand out defensive copies so
+callers may mutate the lists they receive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import weakref
+from collections import Counter, deque
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from ..core.stats import SearchStatistics
+from ..extensions.parallel import ParallelDCFastQC
+from ..graph.graph import Graph
+from ..pipeline.mqce import canonical_order, find_maximal_quasi_cliques
+from ..pipeline.results import EnumerationResult
+from ..settrie.filter import filter_non_maximal
+from .cache import DEFAULT_CAPACITY, ResultCache
+from .planner import PlannerConfig, QueryPlan, QueryPlanner
+from .prepared import PreparedGraph
+
+#: How many per-query records the engine keeps for ``stats()``.
+HISTORY_LIMIT = 1024
+
+#: Attribute under which a Graph carries its own PreparedGraph.  Attaching the
+#: preparation to the graph ties their lifetimes together: a WeakKeyDictionary
+#: would never release entries (the PreparedGraph value strongly references
+#: its Graph key), while the graph -> prepared -> graph reference cycle is
+#: ordinary garbage for the cycle collector once the caller drops the graph.
+_PREPARED_ATTRIBUTE = "_repro_prepared"
+
+
+class EngineError(ValueError):
+    """Raised for invalid engine usage (e.g. querying a mutated prepared graph)."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One entry of a :meth:`MQCEEngine.query_batch` workload."""
+
+    gamma: float
+    theta: int
+    algorithm: str = "auto"
+    branching: str | None = None
+
+    @classmethod
+    def coerce(cls, entry: "QueryRequest | Mapping | tuple") -> "QueryRequest":
+        """Accept a QueryRequest, a ``{"gamma": .., "theta": ..}`` mapping or a tuple."""
+        if isinstance(entry, cls):
+            return entry
+        if isinstance(entry, Mapping):
+            return cls(**entry)
+        gamma, theta, *rest = entry
+        return cls(gamma, theta, *rest)
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Bookkeeping for one served query (fed into ``stats()``)."""
+
+    fingerprint: str
+    gamma: float
+    theta: int
+    algorithm: str
+    cached: bool
+    seconds: float
+
+
+class MQCEEngine:
+    """A persistent, caching MQCE query engine over one or more graphs.
+
+    Parameters
+    ----------
+    cache_size:
+        Capacity of the LRU result cache (entries, not bytes).
+    planner:
+        A :class:`QueryPlanner`; defaults to one with the stock thresholds.
+        Pass ``QueryPlanner(PlannerConfig(...))`` to tune plan selection.
+    workers:
+        Default worker budget offered to the planner for parallel plans
+        (None: let the planner use the machine's CPU count).
+    """
+
+    def __init__(self, cache_size: int = DEFAULT_CAPACITY,
+                 planner: QueryPlanner | None = None,
+                 workers: int | None = None) -> None:
+        self.planner = planner or QueryPlanner()
+        self.cache = ResultCache(cache_size)
+        self.workers = workers
+        self.history: deque[QueryRecord] = deque(maxlen=HISTORY_LIMIT)
+        # Stats-only view of the preparations this engine has touched; each
+        # PreparedGraph is kept alive by its graph, never by the engine.
+        self._prepared: "weakref.WeakSet[PreparedGraph]" = weakref.WeakSet()
+
+    # ------------------------------------------------------------------
+    # Stage 1: preparation
+    # ------------------------------------------------------------------
+    def prepare(self, graph: Graph | PreparedGraph,
+                name: str | None = None) -> PreparedGraph:
+        """Return (and remember) the :class:`PreparedGraph` for ``graph``.
+
+        A plain :class:`Graph` is prepared on first sight and the preparation
+        attached to the graph object, so every later call with the same object
+        (from this or any other engine) reuses it; if the graph was mutated in
+        between, it is transparently re-prepared.  An explicit
+        :class:`PreparedGraph` is the caller's responsibility: passing one
+        whose underlying graph changed raises :class:`EngineError`.
+        """
+        if isinstance(graph, PreparedGraph):
+            if not graph.check_unmodified():
+                raise EngineError(
+                    "the underlying graph of the PreparedGraph was mutated after "
+                    "preparation; build a new PreparedGraph for the new content")
+            self._prepared.add(graph)
+            return graph
+        prepared = getattr(graph, _PREPARED_ATTRIBUTE, None)
+        if not isinstance(prepared, PreparedGraph) or not prepared.check_unmodified():
+            prepared = PreparedGraph(graph, name=name)
+            setattr(graph, _PREPARED_ATTRIBUTE, prepared)
+        self._prepared.add(prepared)
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Stage 2: planning
+    # ------------------------------------------------------------------
+    def explain(self, graph: Graph | PreparedGraph, gamma: float, theta: int,
+                algorithm: str = "auto", branching: str | None = None) -> QueryPlan:
+        """Return the plan a query would use, without running the enumeration."""
+        prepared = self.prepare(graph)
+        return self.planner.plan(prepared, gamma, theta, algorithm=algorithm,
+                                 branching=branching, workers=self.workers)
+
+    # ------------------------------------------------------------------
+    # Stage 3: execution
+    # ------------------------------------------------------------------
+    def query(self, graph: Graph | PreparedGraph, gamma: float, theta: int,
+              algorithm: str = "auto", branching: str | None = None,
+              use_cache: bool = True) -> EnumerationResult:
+        """Solve one MQCE query, serving repeats from the result cache.
+
+        The returned :class:`EnumerationResult` is content-identical to
+        ``find_maximal_quasi_cliques(graph, gamma, theta, ...)``; the
+        ``algorithm`` may differ when the planner picked a cheaper exact one
+        (all MQCE-S1 algorithms agree after MQCE-S2 filtering).
+        """
+        start = time.perf_counter()
+        prepared = self.prepare(graph)
+        plan = self.planner.plan(prepared, gamma, theta, algorithm=algorithm,
+                                 branching=branching, workers=self.workers)
+        key = ResultCache.make_key(prepared.fingerprint, gamma, theta,
+                                   plan.algorithm, plan.branching, plan.framework)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._record(plan, cached=True, seconds=time.perf_counter() - start)
+                return self._copy_result(cached)
+        result = self._execute(prepared, plan)
+        if use_cache:
+            self.cache.put(key, result)
+        self._record(plan, cached=False, seconds=time.perf_counter() - start)
+        return self._copy_result(result)
+
+    def query_batch(self, graph: Graph | PreparedGraph,
+                    requests: Iterable[QueryRequest | Mapping | tuple]
+                    ) -> list[EnumerationResult]:
+        """Run many queries against one graph, preparing it exactly once.
+
+        ``requests`` entries may be :class:`QueryRequest` objects,
+        ``(gamma, theta[, algorithm[, branching]])`` tuples or mappings with
+        those keys.  Results come back in request order; duplicates within the
+        batch are served from the cache.
+        """
+        prepared = self.prepare(graph)
+        results = []
+        for entry in requests:
+            request = QueryRequest.coerce(entry)
+            results.append(self.query(prepared, request.gamma, request.theta,
+                                      algorithm=request.algorithm,
+                                      branching=request.branching))
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Engine counters: queries served, cache behaviour, plan mix."""
+        algorithms = Counter(record.algorithm for record in self.history)
+        cached = sum(1 for record in self.history if record.cached)
+        return {
+            "queries": len(self.history),
+            "queries_cached": cached,
+            "queries_executed": len(self.history) - cached,
+            "prepared_graphs": len(self._prepared),
+            "cache_entries": len(self.cache),
+            "cache_capacity": self.cache.capacity,
+            "cache": self.cache.stats.as_dict(),
+            "plans_by_algorithm": dict(algorithms),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (the counters survive for ``stats()``)."""
+        self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _execute(self, prepared: PreparedGraph, plan: QueryPlan) -> EnumerationResult:
+        """Run one plan through the pipeline (or the parallel driver)."""
+        if plan.trivial:
+            return EnumerationResult(
+                maximal_quasi_cliques=[], candidate_quasi_cliques=[],
+                algorithm=plan.algorithm, gamma=plan.gamma, theta=plan.theta)
+        graph = prepared.graph
+        if plan.parallel:
+            runner = ParallelDCFastQC(graph, plan.gamma, plan.theta,
+                                      branching=plan.branching, workers=plan.workers)
+            start = time.perf_counter()
+            candidates = runner.enumerate()
+            enumeration_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            maximal = filter_non_maximal(candidates, theta=plan.theta)
+            filtering_seconds = time.perf_counter() - start
+            return EnumerationResult(
+                maximal_quasi_cliques=canonical_order(maximal),
+                candidate_quasi_cliques=list(candidates),
+                algorithm=plan.algorithm, gamma=plan.gamma, theta=plan.theta,
+                search_statistics=SearchStatistics(),
+                enumeration_seconds=enumeration_seconds,
+                filtering_seconds=filtering_seconds)
+        return find_maximal_quasi_cliques(graph, plan.gamma, plan.theta,
+                                          algorithm=plan.algorithm,
+                                          branching=plan.branching,
+                                          framework=plan.framework)
+
+    @staticmethod
+    def _copy_result(result: EnumerationResult) -> EnumerationResult:
+        """Shallow-copy the result lists so callers cannot corrupt cache entries."""
+        return dataclasses.replace(
+            result,
+            maximal_quasi_cliques=list(result.maximal_quasi_cliques),
+            candidate_quasi_cliques=list(result.candidate_quasi_cliques))
+
+    def _record(self, plan: QueryPlan, cached: bool, seconds: float) -> None:
+        self.history.append(QueryRecord(
+            fingerprint=plan.fingerprint, gamma=plan.gamma, theta=plan.theta,
+            algorithm=plan.algorithm, cached=cached, seconds=seconds))
+
+    def __repr__(self) -> str:
+        return (f"MQCEEngine(prepared={len(self._prepared)}, "
+                f"cache={len(self.cache)}/{self.cache.capacity}, "
+                f"queries={len(self.history)})")
+
+
+# Re-exported here so `from repro.engine.engine import PlannerConfig` users see
+# the full tuning surface next to the facade.
+__all__ = ["EngineError", "MQCEEngine", "QueryRecord", "QueryRequest", "PlannerConfig"]

@@ -1,0 +1,44 @@
+"""Content fingerprints for graphs, used as cache keys by the query engine.
+
+A fingerprint is a SHA-256 digest over a canonical serialisation of the graph:
+the vertex labels in index order followed by the edge list as sorted index
+pairs.  Two :class:`~repro.graph.graph.Graph` objects that hold the same
+labelled vertices and edges (regardless of insertion order of the *edges*)
+produce the same fingerprint; graphs that differ in any vertex or edge do not,
+up to hash collisions.
+
+Labels are serialised with ``repr``, so labels must have a stable ``repr``
+(true for the strings/ints used throughout the library).  Vertex *index*
+order matters: the same edge set added in a different vertex order is a
+different prepared object (its bitmask layout differs), and the fingerprint
+reflects that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..graph.graph import Graph
+
+#: Number of hex digits kept from the SHA-256 digest (64 bits of collision
+#: resistance, plenty for a per-process result cache).
+FINGERPRINT_LENGTH = 16
+
+
+def graph_fingerprint(graph: Graph, length: int = FINGERPRINT_LENGTH) -> str:
+    """Return a hex content fingerprint of ``graph``.
+
+    The digest covers the vertex count, every label in index order and every
+    edge as an ``i < j`` index pair in lexicographic order, so it is invariant
+    to edge insertion order but sensitive to any content change.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"V:{graph.vertex_count};E:{graph.edge_count};".encode())
+    for label in graph.vertices():
+        hasher.update(repr(label).encode())
+        hasher.update(b"\x00")
+    for i in range(graph.vertex_count):
+        for j in sorted(graph.adjacency_set(i)):
+            if i < j:
+                hasher.update(f"{i},{j};".encode())
+    return hasher.hexdigest()[:length]

@@ -96,6 +96,10 @@ class ParallelDCFastQC:
     def __init__(self, graph: Graph, gamma: float, theta: int,
                  branching: str = "hybrid", max_rounds: int = DEFAULT_MAX_ROUNDS,
                  workers: int | None = None, chunk_size: int = 8) -> None:
+        # Accept an engine PreparedGraph transparently (lazy import: no cycle).
+        from ..engine.prepared import as_plain_graph
+
+        graph = as_plain_graph(graph)
         validate_parameters(gamma, theta)
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer")

@@ -8,6 +8,10 @@ solves this variant directly: the search is seeded with the query vertices as
 the partial set and restricted to their joint 2-hop neighbourhood (legal for
 gamma >= 0.5 by the diameter-2 property), and the output is filtered for
 global maximality against the whole graph.
+
+Both entry points accept a :class:`repro.engine.PreparedGraph` in place of the
+graph, so an engine-managed prepared graph can serve containment queries
+without unwrapping at every call site.
 """
 
 from __future__ import annotations
@@ -26,6 +30,13 @@ from ..settrie.filter import filter_non_maximal
 
 class QueryError(ValueError):
     """Raised when the query vertices cannot all belong to one quasi-clique."""
+
+
+def _plain_graph(graph) -> Graph:
+    """Accept a Graph or an engine PreparedGraph (imported lazily: no cycle)."""
+    from ..engine.prepared import as_plain_graph
+
+    return as_plain_graph(graph)
 
 
 def _query_candidate_mask(graph: Graph, query_indices: list[int], gamma: float,
@@ -71,6 +82,7 @@ def find_quasi_cliques_containing(graph: Graph, query: Iterable[VertexLabel],
         maximal in the *whole graph* among those found; when False, every
         quasi-clique found for the query seed is returned.
     """
+    graph = _plain_graph(graph)
     validate_parameters(gamma, theta)
     query_set = frozenset(query)
     if not query_set:

@@ -11,6 +11,11 @@ a large gamma-quasi-clique.  This module provides both
 * :func:`kernel_expansion_top_k` — the heuristic kernel-expansion method, which
   is much faster on large inputs but only returns quasi-cliques containing a
   kernel (the same trade-off the paper points out).
+
+Both entry points also accept a :class:`repro.engine.PreparedGraph` in place
+of the graph; the exact search then starts from the prepared degeneracy-based
+size upper bound instead of ``|V| / 2``, skipping the doomed early rounds of
+the halving schedule.
 """
 
 from __future__ import annotations
@@ -22,6 +27,16 @@ from ..graph.graph import Graph
 from ..quasiclique.definitions import is_quasi_clique, validate_parameters
 from ..quasiclique.maximality import extending_vertices
 from ..settrie.filter import filter_non_maximal
+
+
+def _unwrap_prepared(graph):
+    """Split a Graph-or-PreparedGraph argument into (graph, prepared-or-None)."""
+    # Imported lazily: repro.engine itself builds on these extension modules.
+    from ..engine.prepared import PreparedGraph
+
+    if isinstance(graph, PreparedGraph):
+        return graph.graph, graph
+    return graph, None
 
 
 def find_largest_quasi_cliques(graph: Graph, gamma: float, k: int = 1,
@@ -43,12 +58,17 @@ def find_largest_quasi_cliques(graph: Graph, gamma: float, k: int = 1,
     minimum_size:
         Lower bound on the size threshold the search is willing to drop to.
     """
+    graph, prepared = _unwrap_prepared(graph)
     validate_parameters(gamma, max(1, minimum_size))
     if k < 1:
         raise ValueError("k must be a positive integer")
     if graph.vertex_count == 0:
         return []
     threshold = max(minimum_size, graph.vertex_count // 2)
+    if prepared is not None:
+        # No gamma-QC can exceed the degeneracy bound; starting the halving
+        # schedule there skips rounds that provably return nothing.
+        threshold = max(minimum_size, min(threshold, prepared.size_upper_bound(gamma)))
     best: list[frozenset] = []
     while True:
         candidates = DCFastQC(graph, gamma, threshold).enumerate()
@@ -68,6 +88,7 @@ def expand_kernel(graph: Graph, kernel: frozenset, gamma: float) -> frozenset:
     added; the expansion stops when no single vertex extends the current set
     (the same stopping rule as the maximality necessary condition).
     """
+    graph, _ = _unwrap_prepared(graph)
     current = frozenset(kernel)
     if not is_quasi_clique(graph, current, gamma):
         return current
@@ -93,6 +114,7 @@ def kernel_expansion_top_k(graph: Graph, gamma: float, k: int = 1,
     the true largest quasi-clique (kernels may miss it), mirroring the
     trade-off of the kernel-expansion literature.
     """
+    graph, _ = _unwrap_prepared(graph)
     validate_parameters(gamma, kernel_theta)
     if k < 1:
         raise ValueError("k must be a positive integer")

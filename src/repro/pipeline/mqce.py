@@ -1,10 +1,20 @@
 """End-to-end MQCE pipeline: MQCE-S1 enumeration followed by MQCE-S2 filtering.
 
-This is the library's primary public entry point.  It runs one of the MQCE-S1
-algorithms (DCFastQC by default, FastQC or Quick+ on request), removes
+This is the library's primary *one-shot* entry point.  It runs one of the
+MQCE-S1 algorithms (DCFastQC by default, FastQC or Quick+ on request), removes
 non-maximal quasi-cliques with the set-trie filter, and returns both the final
 maximal quasi-cliques and the intermediate candidate set together with timing
 and search statistics.
+
+Every call re-validates the parameters and re-derives the per-graph
+preprocessing (core decomposition, ordering) from scratch, which is the right
+trade-off for a single enumeration.  For *repeated* queries over the same
+graph — parameter sweeps, interactive exploration, serving traffic — use
+:class:`repro.engine.MQCEEngine` instead: it wraps these same functions with a
+:class:`~repro.engine.prepared.PreparedGraph` (preprocessing computed once), a
+cost-based :class:`~repro.engine.planner.QueryPlanner` (algorithm / branching /
+parallelism selection) and an LRU :class:`~repro.engine.cache.ResultCache`
+(identical queries are served without re-enumeration).
 """
 
 from __future__ import annotations
@@ -23,6 +33,11 @@ from .results import EnumerationResult
 
 #: Algorithms usable as the MQCE-S1 stage.
 ALGORITHMS = ("dcfastqc", "fastqc", "quickplus", "naive")
+
+
+def canonical_order(quasi_cliques) -> list[frozenset]:
+    """Deterministic result order: decreasing size, then sorted string labels."""
+    return sorted(quasi_cliques, key=lambda h: (-len(h), sorted(map(str, h))))
 
 
 def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "dcfastqc",
@@ -99,7 +114,7 @@ def find_maximal_quasi_cliques(graph: Graph, gamma: float, theta: int,
     filtering_seconds = time.perf_counter() - start
 
     return EnumerationResult(
-        maximal_quasi_cliques=sorted(maximal, key=lambda h: (-len(h), sorted(map(str, h)))),
+        maximal_quasi_cliques=canonical_order(maximal),
         candidate_quasi_cliques=list(candidates),
         algorithm=algorithm,
         gamma=gamma,

@@ -1,0 +1,125 @@
+"""Tests for the `repro engine` CLI sub-command group."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import write_edge_list
+from repro.graph.generators import planted_quasi_clique_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = planted_quasi_clique_graph(30, 40, [7], 0.9, seed=2)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestParser:
+    def test_engine_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine"])
+
+    def test_engine_query_defaults(self):
+        args = build_parser().parse_args(["engine", "query", "-d", "ca-grqc"])
+        assert args.algorithm == "auto"
+        assert args.repeat == 1
+
+    def test_engine_query_requires_graph(self):
+        with pytest.raises(SystemExit):
+            main(["engine", "query", "-g", "0.9", "-t", "5"])
+
+
+class TestEngineQuery:
+    def test_query_on_dataset_defaults(self, capsys):
+        code = main(["engine", "query", "-d", "twitter"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maximal" in out
+        assert "engine:" in out
+
+    def test_repeat_reports_cache_hits(self, capsys):
+        code = main(["engine", "query", "-d", "twitter", "--repeat", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cache hits" in out
+
+    def test_query_json_includes_plan_and_stats(self, capsys):
+        code = main(["engine", "query", "-d", "twitter", "--json", "--repeat", "2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["maximal_count"] >= 1
+        assert payload["plan"]["algorithm"] in ("dcfastqc", "fastqc")
+        assert payload["engine"]["cache"]["hits"] == 1
+
+    def test_query_from_edge_list_file(self, graph_file, capsys):
+        code = main(["engine", "query", "-i", str(graph_file), "-g", "0.9", "-t", "5"])
+        assert code == 0
+        assert "maximal" in capsys.readouterr().out
+
+    def test_query_writes_output_file(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "mqcs.txt"
+        code = main(["engine", "query", "-i", str(graph_file), "-g", "0.9",
+                     "-t", "5", "-o", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        assert out_path.read_text().strip()
+
+
+class TestEngineExplain:
+    def test_explain_prints_plan_without_enumerating(self, capsys):
+        code = main(["engine", "explain", "-d", "ca-grqc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QueryPlan" in out
+        assert "algorithm:" in out
+        assert "reduction:" in out
+        # No quasi-clique listing: explain never enumerates.
+        assert "maximal" not in out
+
+    def test_explain_json(self, capsys):
+        code = main(["engine", "explain", "-d", "ca-grqc", "--json"])
+        assert code == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["algorithm"] == "dcfastqc"
+        assert plan["core_vertices_kept"] + plan["core_vertices_removed"] \
+            == plan["graph_vertices"]
+
+    def test_explain_honours_forced_algorithm(self, capsys):
+        code = main(["engine", "explain", "-d", "ca-grqc",
+                     "--algorithm", "quickplus", "--json"])
+        assert code == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["algorithm"] == "quickplus"
+
+
+class TestEngineBatch:
+    def test_batch_grid_with_cache(self, capsys):
+        code = main(["engine", "batch", "-d", "twitter",
+                     "--gammas", "0.9,0.92", "--thetas", "4,5", "--repeat", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gamma" in out
+        assert "4 served from cache" in out
+
+    def test_batch_json(self, capsys):
+        code = main(["engine", "batch", "-d", "twitter", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 1
+        assert payload["queries_per_second"] > 0
+
+
+class TestEngineStats:
+    def test_stats_reports_artifacts_and_timings(self, capsys):
+        code = main(["engine", "stats", "-d", "kmer"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "kmer"
+        assert payload["fingerprint"]
+        assert set(payload["preparation_seconds"]) == set(payload["artifacts"])
+        assert payload["components"] >= 1

@@ -169,3 +169,52 @@ class TestFilterNonMaximal:
 
     def test_empty_input(self):
         assert filter_non_maximal([]) == []
+
+
+class TestFilterEdgeCases:
+    """Degenerate candidate families every MQCE-S2 call must survive."""
+
+    @pytest.mark.parametrize("method", ["subsets", "supersets", "pairwise"])
+    def test_empty_candidate_list(self, method):
+        assert filter_non_maximal([], method=method) == []
+        assert filter_non_maximal([], theta=5, method=method) == []
+
+    @pytest.mark.parametrize("method", ["subsets", "supersets", "pairwise"])
+    def test_duplicate_candidates_collapse(self, method):
+        sets = [frozenset({1, 2, 3})] * 4 + [frozenset({1, 2})] * 3
+        assert filter_non_maximal(sets, method=method) == [frozenset({1, 2, 3})]
+
+    @pytest.mark.parametrize("method", ["subsets", "supersets", "pairwise"])
+    def test_single_vertex_sets(self, method):
+        # Disjoint singletons are all maximal; theta=2 filters every one.
+        sets = [frozenset({v}) for v in (1, 2, 3)]
+        assert set(filter_non_maximal(sets, method=method)) == set(sets)
+        assert filter_non_maximal(sets, theta=2, method=method) == []
+
+    @pytest.mark.parametrize("method", ["subsets", "supersets", "pairwise"])
+    def test_single_vertex_absorbed_by_superset(self, method):
+        sets = [frozenset({1}), frozenset({1, 2}), frozenset({3})]
+        assert set(filter_non_maximal(sets, method=method)) == {
+            frozenset({1, 2}), frozenset({3})}
+
+    @pytest.mark.parametrize("method", ["subsets", "supersets", "pairwise"])
+    def test_duplicate_singletons_mixed_with_supersets(self, method):
+        sets = [frozenset({1})] * 5 + [frozenset({1, 2, 3})] * 2
+        assert filter_non_maximal(sets, method=method) == [frozenset({1, 2, 3})]
+
+    def test_trie_of_singletons_roundtrip(self):
+        trie = SetTrie([{v} for v in range(5)])
+        assert len(trie) == 5
+        assert trie.get_all_subsets({0}) == [frozenset({0})]
+        assert set(trie.get_all_subsets(set(range(5)))) == {
+            frozenset({v}) for v in range(5)}
+        assert trie.exists_superset({3})
+        assert not trie.exists_superset({3}, proper=True)
+
+    def test_trie_duplicate_singleton_inserts(self):
+        trie = SetTrie()
+        first = trie.insert({7})
+        second = trie.insert({7})
+        assert first != second
+        assert len(trie) == 2
+        assert set(trie.get_all_subset_ids({7})) == {first, second}
