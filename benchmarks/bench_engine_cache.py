@@ -12,10 +12,16 @@ measures, on registry dataset analogues:
   reported as queries per second with the cache hit rate attached.
 
 Run with:  pytest benchmarks/bench_engine_cache.py --benchmark-only
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks the dataset spread to one small
+analogue — the CI smoke-benchmark mode, which keeps the cold/warm speedup
+assertion (so cache/planner regressions still fail the job) while staying
+inside a pull-request time budget.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -26,7 +32,9 @@ from repro.engine import MQCEEngine, QueryRequest
 from _bench_utils import attach_rows, run_once
 
 #: A spread of registry analogues: sparse/social/road-like backgrounds.
-DATASETS = ("ca-grqc", "enron", "douban", "kmer")
+#: REPRO_BENCH_QUICK=1 (CI smoke mode) keeps only the fastest one.
+DATASETS = (("ca-grqc",) if os.environ.get("REPRO_BENCH_QUICK")
+            else ("ca-grqc", "enron", "douban", "kmer"))
 
 #: The warm/cold ratio the engine must beat on at least one dataset
 #: (in practice every dataset clears it by 1-2 orders of magnitude).

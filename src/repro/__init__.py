@@ -5,24 +5,31 @@ A Pruning and Branching Co-Design Approach" (Yu & Long, SIGMOD).  The package
 provides
 
 * :class:`repro.Graph` — the graph substrate,
-* :func:`repro.find_maximal_quasi_cliques` — the end-to-end MQCE pipeline,
+* :class:`repro.QuerySpec` / :class:`repro.Q` — the declarative query API:
+  one hashable spec for every workload (enumerate / top-k / containment /
+  count) with budgets and streaming delivery,
+* :class:`repro.MQCEEngine` — the persistent query engine (prepared graphs,
+  cost-based plan selection, LRU result caching, ``stream()``) for repeated
+  queries,
 * :class:`repro.FastQC`, :class:`repro.DCFastQC`, :class:`repro.QuickPlus` —
   the MQCE-S1 branch-and-bound algorithms,
 * :func:`repro.filter_non_maximal` — the set-trie based MQCE-S2 filter,
-* :class:`repro.MQCEEngine` — the persistent query engine (prepared graphs,
-  cost-based plan selection, LRU result caching) for repeated queries,
 * ``repro.datasets`` / ``repro.experiments`` — dataset analogues and the
   table/figure reproduction harness.
 
 Quickstart
 ----------
->>> from repro import Graph, find_maximal_quasi_cliques
+>>> from repro import Graph, Q
 >>> graph = Graph(edges=[(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 4)])
->>> result = find_maximal_quasi_cliques(graph, gamma=0.6, theta=3)
+>>> result = Q(graph).gamma(0.6).theta(3).run()
 >>> sorted(sorted(h) for h in result.maximal_quasi_cliques)
 [[1, 2, 3, 4]]
+
+(The PR-1 kwargs entry point ``find_maximal_quasi_cliques(graph, gamma,
+theta)`` still works but is deprecated in favour of the spec API.)
 """
 
+from .errors import EngineError, ParameterError, QueryError, ReproError, SpecError
 from .graph import Graph, GraphError, read_edge_list, write_edge_list
 from .quasiclique import (
     is_maximal_quasi_clique,
@@ -35,8 +42,11 @@ from .settrie import SetTrie, filter_non_maximal
 from .pipeline import (
     ALGORITHMS,
     EnumerationResult,
+    QuasiCliqueStream,
     enumerate_candidate_quasi_cliques,
     find_maximal_quasi_cliques,
+    run_enumeration,
+    stream_maximal_quasi_cliques,
 )
 from .extensions import (
     ParallelDCFastQC,
@@ -45,21 +55,28 @@ from .extensions import (
     find_quasi_cliques_containing,
     kernel_expansion_top_k,
 )
+from .api import Q, QueryBuilder, QuerySpec
 from .engine import (
     MQCEEngine,
     PreparedGraph,
     QueryPlan,
     QueryPlanner,
     ResultCache,
+    ResultStream,
     prepare_graph,
 )
-from . import datasets, engine, experiments, extensions
+from . import api, datasets, engine, experiments, extensions
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
     "GraphError",
+    "ReproError",
+    "QueryError",
+    "ParameterError",
+    "SpecError",
+    "EngineError",
     "read_edge_list",
     "write_edge_list",
     "is_quasi_clique",
@@ -75,19 +92,27 @@ __all__ = [
     "filter_non_maximal",
     "ALGORITHMS",
     "EnumerationResult",
+    "QuasiCliqueStream",
     "enumerate_candidate_quasi_cliques",
     "find_maximal_quasi_cliques",
+    "run_enumeration",
+    "stream_maximal_quasi_cliques",
     "ParallelDCFastQC",
     "community_of",
     "find_largest_quasi_cliques",
     "find_quasi_cliques_containing",
     "kernel_expansion_top_k",
+    "Q",
+    "QueryBuilder",
+    "QuerySpec",
     "MQCEEngine",
     "PreparedGraph",
     "QueryPlan",
     "QueryPlanner",
     "ResultCache",
+    "ResultStream",
     "prepare_graph",
+    "api",
     "datasets",
     "engine",
     "experiments",

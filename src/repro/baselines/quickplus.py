@@ -42,7 +42,8 @@ class QuickPlus:
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
                  branching: str = "se", pruning: PruningConfig = PruningConfig(),
-                 on_output: Callable[[frozenset], None] | None = None) -> None:
+                 on_output: Callable[[frozenset], None] | None = None,
+                 should_stop: Callable[[], bool] | None = None) -> None:
         validate_parameters(gamma, theta)
         if branching not in BRANCHING_METHODS:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
@@ -52,6 +53,8 @@ class QuickPlus:
         self.branching = branching
         self.pruning = pruning
         self.on_output = on_output
+        self.should_stop = should_stop
+        self.stopped = False
         self.statistics = SearchStatistics()
         self._results: list[frozenset] = []
         self._seen_masks: set[int] = set()
@@ -98,6 +101,11 @@ class QuickPlus:
     # ------------------------------------------------------------------
     def _recurse(self, branch: Branch) -> bool:
         """Return True iff a QC was output in this branch or any sub-branch."""
+        if self.stopped or (self.should_stop is not None and self.should_stop()):
+            # Cooperative cancellation: pretend a QC was found so no ancestor
+            # emits its partial set G[S] while the recursion unwinds.
+            self.stopped = True
+            return True
         self.statistics.branches_explored += 1
 
         # Termination: no candidates left (lines 3-6).

@@ -2,6 +2,13 @@
 
 Sub-commands
 ------------
+``query``      The unified declarative query command: build a
+               :class:`repro.api.QuerySpec` from flags or a JSON file
+               (``--spec``), run it through the persistent engine, optionally
+               streaming each maximal quasi-clique as it is confirmed
+               (``--stream``).  Covers enumerate / top-k (``--top``) /
+               containment (``--containing``) / count (``--count``) with
+               budgets (``--limit``, ``--time-limit``).
 ``enumerate``  Run the full MQCE pipeline on an edge-list file or a registered
                dataset analogue and print (or save) the maximal quasi-cliques.
 ``topk``       Find the k largest maximal quasi-cliques (exact or kernel expansion).
@@ -15,6 +22,10 @@ Sub-commands
                grid through one engine), ``engine explain`` (print the chosen
                plan without enumerating) and ``engine stats`` (prepared-graph
                artifacts and timings).
+
+Errors derived from :class:`repro.errors.ReproError` (bad parameters, invalid
+specs, unsatisfiable queries) exit with code 2 and a one-line message instead
+of a traceback.
 """
 
 from __future__ import annotations
@@ -23,17 +34,21 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
+from .api import QuerySpec
+from .api.execute import containment_search, topk_search
+from .core.dcfastqc import DC_FRAMEWORKS
 from .datasets.registry import REGISTRY, get_spec, load_dataset, load_prepared
 from .engine import MQCEEngine, QueryRequest, prepare_graph
+from .errors import ReproError, SpecError
 from .experiments import figures as figure_module
 from .experiments.harness import format_table
 from .experiments.tables import table1_rows
-from .extensions.query import find_quasi_cliques_containing
-from .extensions.topk import find_largest_quasi_cliques, kernel_expansion_top_k
+from .extensions.topk import kernel_expansion_top_k
 from .graph.io import read_edge_list, write_quasi_cliques
 from .graph.statistics import graph_statistics
-from .pipeline.mqce import ALGORITHMS, find_maximal_quasi_cliques
+from .pipeline.mqce import ALGORITHMS, run_enumeration
 
 
 def _load_graph(args: argparse.Namespace):
@@ -59,7 +74,8 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         theta = get_spec(args.dataset).default_theta
     if gamma is None or theta is None:
         raise SystemExit("--gamma and --theta are required for --input graphs")
-    result = find_maximal_quasi_cliques(graph, gamma, theta, algorithm=args.algorithm)
+    result = run_enumeration(graph, QuerySpec(gamma=gamma, theta=theta,
+                                              algorithm=args.algorithm))
     if args.json:
         print(json.dumps(result.summary(), indent=2))
     else:
@@ -94,8 +110,9 @@ def _command_topk(args: argparse.Namespace) -> int:
         cliques = kernel_expansion_top_k(graph, gamma, k=args.k,
                                          kernel_theta=max(2, args.min_size))
     else:
-        cliques = find_largest_quasi_cliques(graph, gamma, k=args.k,
-                                             minimum_size=args.min_size)
+        spec = QuerySpec(gamma=gamma, theta=max(1, args.min_size), k=args.k,
+                         algorithm="dcfastqc")
+        cliques = topk_search(graph, spec).maximal_quasi_cliques
     method = "kernel expansion" if args.heuristic else "exact"
     print(f"# top-{args.k} largest {gamma}-quasi-cliques ({method})")
     for rank, clique in enumerate(cliques, start=1):
@@ -110,7 +127,8 @@ def _command_community(args: argparse.Namespace) -> int:
     if gamma is None or theta is None:
         raise SystemExit("--gamma and --theta are required for --input graphs")
     query = [_int_if_possible(token) for token in args.vertices]
-    cliques = find_quasi_cliques_containing(graph, query, gamma, theta=theta)
+    spec = QuerySpec(gamma=gamma, theta=theta, contains=tuple(query))
+    cliques = containment_search(graph, spec).maximal_quasi_cliques
     print(f"# {len(cliques)} maximal {gamma}-quasi-cliques (size >= {theta}) "
           f"containing {', '.join(map(str, query))}")
     for clique in cliques:
@@ -168,6 +186,114 @@ _FIGURE_DISPATCH = {
 def _command_figure(args: argparse.Namespace) -> int:
     rows = _FIGURE_DISPATCH[args.figure]()
     print(format_table(rows))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The unified `query` command (QuerySpec API)
+# ----------------------------------------------------------------------
+def _build_query_spec(args: argparse.Namespace) -> QuerySpec:
+    """Assemble a QuerySpec from ``--spec FILE`` plus flag overrides."""
+    fields: dict = {}
+    if args.spec:
+        try:
+            fields = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise SpecError(f"cannot read spec file {args.spec}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON in spec file {args.spec}: {exc}") from exc
+        if not isinstance(fields, dict):
+            raise SpecError(f"spec file {args.spec} must contain a JSON object")
+    # Precedence: explicit flags > --spec file > dataset defaults.
+    if args.gamma is not None:
+        fields["gamma"] = args.gamma
+    if args.theta is not None:
+        fields["theta"] = args.theta
+    if args.dataset:
+        dataset = get_spec(args.dataset)
+        fields.setdefault("gamma", dataset.default_gamma)
+        fields.setdefault("theta", dataset.default_theta)
+    if args.algorithm is not None:
+        fields["algorithm"] = args.algorithm
+    if args.branching is not None:
+        fields["branching"] = args.branching
+    if args.framework is not None:
+        fields["framework"] = args.framework
+    if args.max_rounds is not None:
+        fields["max_rounds"] = args.max_rounds
+    if args.containing:
+        fields["contains"] = tuple(_int_if_possible(token) for token in args.containing)
+    if args.top is not None:
+        fields["k"] = args.top
+    if args.count:
+        fields["count_only"] = True
+    if args.limit is not None:
+        fields["max_results"] = args.limit
+    if args.time_limit is not None:
+        fields["time_limit"] = args.time_limit
+    if args.no_candidates:
+        fields["include_candidates"] = False
+    if "gamma" not in fields:
+        raise SystemExit("--gamma (or a --spec file with gamma, or a dataset "
+                         "with defaults) is required")
+    return QuerySpec.from_dict(fields)
+
+
+def _print_clique(clique: frozenset, stream=None) -> None:
+    print(" ".join(str(v) for v in sorted(clique, key=str)),
+          file=stream or sys.stdout, flush=True)
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    prepared = _load_prepared(args)
+    spec = _build_query_spec(args)
+    engine = MQCEEngine()
+    if args.explain:
+        plan = engine.explain(prepared, spec)
+        if args.json:
+            print(json.dumps({"spec": spec.to_dict(), "plan": plan.as_dict()}, indent=2))
+        else:
+            print(plan.describe())
+        return 0
+    if args.stream:
+        stream = engine.stream(prepared, spec)
+        delivered: list[frozenset] = []
+        for clique in stream:
+            if args.json:
+                # JSON-lines: one object per answer, as soon as it is confirmed.
+                print(json.dumps({"clique": sorted(map(str, clique))}), flush=True)
+            else:
+                _print_clique(clique)
+            delivered.append(clique)
+        state = ("complete" if stream.finished
+                 else "truncated by budget" if stream.truncated else "stopped")
+        if args.json:
+            print(json.dumps({"spec": spec.to_dict(), "delivered": len(delivered),
+                              "state": state, "from_cache": stream.from_cache}))
+        else:
+            print(f"# {stream.delivered} maximal quasi-cliques streamed "
+                  f"({spec.describe()}; {state}"
+                  f"{'; served from cache' if stream.from_cache else ''})")
+        if args.output:
+            write_quasi_cliques(delivered, args.output)
+        return 0
+    result = engine.query(prepared, spec)
+    if args.json:
+        payload = {"spec": spec.to_dict(), "result": result.summary(),
+                   "plan": engine.explain(prepared, spec).as_dict()}
+        if spec.count_only:
+            payload["count"] = result.maximal_count
+        print(json.dumps(payload, indent=2))
+    elif spec.count_only:
+        print(result.maximal_count)
+    else:
+        truncated = " (truncated by time limit)" if result.truncated else ""
+        print(f"# {result.maximal_count} answers for {spec.describe()} "
+              f"[{result.algorithm}]{truncated}")
+        for clique in result.maximal_quasi_cliques:
+            _print_clique(clique)
+    if args.output:
+        write_quasi_cliques(result.maximal_quasi_cliques, args.output)
     return 0
 
 
@@ -288,6 +414,42 @@ def build_parser() -> argparse.ArgumentParser:
         description="Maximal quasi-clique enumeration (FastQC / DCFastQC / Quick+)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    query_parser = subparsers.add_parser(
+        "query", help="run one declarative QuerySpec query (enumerate / top-k / "
+        "containment / count, with budgets and streaming)")
+    _add_graph_arguments(query_parser)
+    query_parser.add_argument("--spec", help="JSON file with QuerySpec fields "
+                              "(explicit flags override it)")
+    query_parser.add_argument("--gamma", "-g", type=float, help="degree fraction in [0.5, 1]")
+    query_parser.add_argument("--theta", "-t", type=int, help="minimum quasi-clique size")
+    query_parser.add_argument("--algorithm", "-a", choices=("auto",) + ALGORITHMS,
+                              help="force the MQCE-S1 algorithm (default: planner)")
+    query_parser.add_argument("--branching", choices=("hybrid", "sym-se", "se"),
+                              help="force the branching rule")
+    query_parser.add_argument("--framework", choices=DC_FRAMEWORKS,
+                              help="force the divide-and-conquer framework")
+    query_parser.add_argument("--max-rounds", type=int, help="subproblem shrinking rounds")
+    query_parser.add_argument("--containing", nargs="+", metavar="VERTEX",
+                              help="only quasi-cliques containing these vertices")
+    query_parser.add_argument("--top", type=int, metavar="K",
+                              help="only the K largest answers")
+    query_parser.add_argument("--count", action="store_true",
+                              help="print only the number of answers")
+    query_parser.add_argument("--limit", type=int, metavar="N",
+                              help="deliver at most N answers")
+    query_parser.add_argument("--time-limit", type=float, metavar="SECONDS",
+                              help="soft wall-clock budget (best-effort results)")
+    query_parser.add_argument("--no-candidates", action="store_true",
+                              help="drop the candidate list from JSON/summary output")
+    query_parser.add_argument("--stream", action="store_true",
+                              help="print each maximal quasi-clique as soon as it "
+                              "is confirmed (incremental enumeration)")
+    query_parser.add_argument("--explain", action="store_true",
+                              help="print the query plan without enumerating")
+    query_parser.add_argument("--json", action="store_true", help="print JSON only")
+    query_parser.add_argument("--output", "-o", help="write the answers to this file")
+    query_parser.set_defaults(handler=_command_query)
+
     enumerate_parser = subparsers.add_parser("enumerate", help="run the MQCE pipeline")
     _add_graph_arguments(enumerate_parser)
     enumerate_parser.add_argument("--gamma", "-g", type=float, help="degree fraction in [0.5, 1]")
@@ -385,7 +547,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        # Unified error surface: invalid parameters, specs, queries and graph
+        # inputs exit with code 2 and one line on stderr, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,7 +21,7 @@ and one-hop shrinking only) and plain FastQC (no decomposition) for Figure 12.
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 
 from ..graph.graph import Graph, VertexLabel, iter_bits
@@ -102,13 +102,18 @@ class DCFastQC:
     maximality_filter:
         Forwarded to FastQC; filters outputs by the necessary condition of
         maximality.
+    should_stop:
+        Optional zero-argument predicate polled before every subproblem and at
+        every FastQC branch; returning True stops the enumeration
+        cooperatively (:attr:`stopped` is set, partial results are kept).
     """
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
                  branching: str = "hybrid", framework: str = "dc",
                  max_rounds: int = DEFAULT_MAX_ROUNDS,
                  maximality_filter: bool = True,
-                 on_output: Callable[[frozenset], None] | None = None) -> None:
+                 on_output: Callable[[frozenset], None] | None = None,
+                 should_stop: Callable[[], bool] | None = None) -> None:
         validate_parameters(gamma, theta)
         if branching not in BRANCHING_METHODS:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
@@ -124,25 +129,53 @@ class DCFastQC:
         self.max_rounds = max_rounds
         self.maximality_filter = maximality_filter
         self.on_output = on_output
+        self.should_stop = should_stop
+        self.stopped = False
         self.statistics = SearchStatistics()
         self.dc_statistics = DCStatistics()
 
     # ------------------------------------------------------------------
-    # Public entry point
+    # Public entry points
     # ------------------------------------------------------------------
     def enumerate(self) -> list[frozenset]:
         """Enumerate a set of QCs containing every MQC of size >= theta (MQCE-S1)."""
+        results: list[frozenset] = []
+        for batch in self.iter_candidate_batches():
+            results.extend(batch)
+        return results
+
+    def iter_candidate_batches(self) -> Iterator[list[frozenset]]:
+        """Yield the MQCE-S1 candidates one divide-and-conquer subproblem at a time.
+
+        Each yielded list holds the candidates found in one subproblem (the one
+        rooted at the next vertex of the ordering); concatenating every batch
+        gives exactly :meth:`enumerate`'s result.  The batch boundary carries a
+        guarantee streaming consumers rely on: every output of subproblem ``i``
+        contains its root ``v_i`` and no earlier-ordered vertex, so any proper
+        superset of it in the full candidate set appears in a subproblem
+        ``j <= i``.  Once a batch has been yielded, the maximality of its
+        members is therefore decidable against the candidates seen so far.
+
+        With ``framework="none"`` there is a single batch (the whole FastQC
+        run), and no incremental guarantee beyond completeness.
+        """
         engine = FastQC(self.graph, self.gamma, self.theta, branching=self.branching,
-                        maximality_filter=self.maximality_filter, on_output=self.on_output)
+                        maximality_filter=self.maximality_filter,
+                        on_output=self.on_output, should_stop=self.should_stop)
+        self.statistics = engine.statistics
         if self.framework == "none":
-            results = engine.enumerate()
-            self.statistics = engine.statistics
-            return results
+            batch = engine.enumerate()
+            self.stopped = engine.stopped
+            yield batch
+            return
 
         core_mask = self._core_reduction_mask()
         ordering = self._vertex_ordering(core_mask)
         prior_mask = 0
         for root in ordering:
+            if self.should_stop is not None and self.should_stop():
+                self.stopped = True
+                return
             root_index = self.graph.index_of(root)
             remaining = core_mask & ~prior_mask
             subproblem_mask = two_hop_mask(self.graph, root_index, remaining)
@@ -159,9 +192,11 @@ class DCFastQC:
                 refined_mask & ~(1 << root_index),
                 prior_mask & ~(1 << root_index),
             )
-            engine.enumerate_branch(branch)
-        self.statistics = engine.statistics
-        return engine.results
+            batch = engine.enumerate_branch(branch)
+            self.stopped = engine.stopped
+            yield batch
+            if self.stopped:
+                return
 
     # ------------------------------------------------------------------
     # Divide-and-conquer internals

@@ -52,11 +52,17 @@ class FastQC:
     on_output:
         Optional callback invoked with each output vertex set (as a frozenset
         of labels) as it is found.
+    should_stop:
+        Optional zero-argument predicate polled at every branch.  When it
+        returns True the search unwinds cooperatively: :attr:`stopped` is set
+        and the results collected so far are kept.  This is how streaming
+        callers enforce time budgets and cancellation.
     """
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
                  branching: str = "hybrid", maximality_filter: bool = True,
-                 on_output: Callable[[frozenset], None] | None = None) -> None:
+                 on_output: Callable[[frozenset], None] | None = None,
+                 should_stop: Callable[[], bool] | None = None) -> None:
         validate_parameters(gamma, theta)
         if branching not in BRANCHING_METHODS:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
@@ -66,6 +72,8 @@ class FastQC:
         self.branching = branching
         self.maximality_filter = maximality_filter
         self.on_output = on_output
+        self.should_stop = should_stop
+        self.stopped = False
         self.statistics = SearchStatistics()
         self._results: list[frozenset] = []
         self._seen_masks: set[int] = set()
@@ -118,6 +126,12 @@ class FastQC:
     # ------------------------------------------------------------------
     def _recurse(self, branch: Branch) -> bool:
         """Return True iff a QC was output in this branch or any sub-branch."""
+        if self.stopped or (self.should_stop is not None and self.should_stop()):
+            # Cooperative cancellation: claim a QC was found so that no
+            # ancestor branch emits its partial set G[S] during the unwind
+            # (such fallback outputs are only meaningful for complete searches).
+            self.stopped = True
+            return True
         self.statistics.branches_explored += 1
 
         # Lines 3-7: progressive refinement and necessary-condition checking.

@@ -11,6 +11,7 @@ what a database engine adds on top of an algorithm:
 * :class:`ResultCache` — a bounded LRU over
   ``(fingerprint, gamma, theta, algorithm)`` with hit/miss/eviction counters,
 * :class:`MQCEEngine` — the facade tying them together, with ``query()``,
+  ``stream()`` (incremental delivery of a :class:`repro.api.QuerySpec`),
   ``query_batch()``, ``explain()`` and ``stats()``.
 
 Quickstart
@@ -30,6 +31,7 @@ from .engine import EngineError, MQCEEngine, QueryRecord, QueryRequest
 from .fingerprint import graph_fingerprint
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
 from .prepared import PreparedGraph, as_plain_graph, prepare_graph
+from .stream import ResultStream
 
 __all__ = [
     "CacheStats",
@@ -42,6 +44,7 @@ __all__ = [
     "QueryRecord",
     "QueryRequest",
     "ResultCache",
+    "ResultStream",
     "as_plain_graph",
     "graph_fingerprint",
     "prepare_graph",

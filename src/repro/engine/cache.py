@@ -60,9 +60,25 @@ class ResultCache:
     @staticmethod
     def make_key(fingerprint: str, gamma: float, theta: int, algorithm: str,
                  branching: str, framework: str) -> tuple:
-        """Build the canonical cache key for one query configuration."""
+        """Build the PR-1 positional cache key (kept for backwards compatibility).
+
+        The engine itself now keys on :meth:`spec_key`; this helper remains
+        for callers that address the cache with bare parameters.
+        """
         return (fingerprint, gamma_fraction(gamma), int(theta),
                 algorithm, branching, framework)
+
+    @staticmethod
+    def spec_key(fingerprint: str, spec) -> tuple:
+        """The canonical ``(fingerprint, spec)`` cache key.
+
+        ``spec`` must be a *resolved* :class:`repro.api.QuerySpec` (no
+        ``"auto"`` algorithm, no ``None`` branching/framework — see
+        :meth:`QuerySpec.resolved`), so that a forced configuration and a
+        planner-chosen identical configuration share one entry.  Budgets and
+        output options are excluded by :meth:`QuerySpec.cache_key`.
+        """
+        return (fingerprint,) + spec.cache_key()
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> Any | None:

@@ -27,22 +27,25 @@ callers may mutate the lists they receive.
 
 from __future__ import annotations
 
-import dataclasses
 import time
 import weakref
 from collections import Counter, deque
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
+from ..api.execute import containment_search, shape_result, topk_search
+from ..api.spec import QuerySpec, coerce_spec
 from ..core.stats import SearchStatistics
+from ..errors import EngineError
 from ..extensions.parallel import ParallelDCFastQC
 from ..graph.graph import Graph
-from ..pipeline.mqce import canonical_order, find_maximal_quasi_cliques
+from ..pipeline.mqce import canonical_order, run_enumeration
 from ..pipeline.results import EnumerationResult
 from ..settrie.filter import filter_non_maximal
 from .cache import DEFAULT_CAPACITY, ResultCache
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
 from .prepared import PreparedGraph
+from .stream import ResultStream
 
 #: How many per-query records the engine keeps for ``stats()``.
 HISTORY_LIMIT = 1024
@@ -53,10 +56,6 @@ HISTORY_LIMIT = 1024
 #: its Graph key), while the graph -> prepared -> graph reference cycle is
 #: ordinary garbage for the cycle collector once the caller drops the graph.
 _PREPARED_ATTRIBUTE = "_repro_prepared"
-
-
-class EngineError(ValueError):
-    """Raised for invalid engine usage (e.g. querying a mutated prepared graph)."""
 
 
 @dataclass(frozen=True)
@@ -148,56 +147,102 @@ class MQCEEngine:
     # ------------------------------------------------------------------
     # Stage 2: planning
     # ------------------------------------------------------------------
-    def explain(self, graph: Graph | PreparedGraph, gamma: float, theta: int,
-                algorithm: str = "auto", branching: str | None = None) -> QueryPlan:
-        """Return the plan a query would use, without running the enumeration."""
+    def explain(self, graph: Graph | PreparedGraph, gamma=None, theta: int | None = None,
+                algorithm: str = "auto", branching: str | None = None, *,
+                spec: QuerySpec | None = None) -> QueryPlan:
+        """Return the plan a query would use, without running the enumeration.
+
+        Accepts either the PR-1 parameters (``explain(graph, gamma, theta,
+        ...)``) or a :class:`QuerySpec` (``explain(graph, spec)``).
+        """
+        spec = coerce_spec(gamma, theta, algorithm, branching, spec=spec)
         prepared = self.prepare(graph)
-        return self.planner.plan(prepared, gamma, theta, algorithm=algorithm,
-                                 branching=branching, workers=self.workers)
+        return self.planner.plan_spec(prepared, spec, workers=self.workers)
 
     # ------------------------------------------------------------------
     # Stage 3: execution
     # ------------------------------------------------------------------
-    def query(self, graph: Graph | PreparedGraph, gamma: float, theta: int,
+    def query(self, graph: Graph | PreparedGraph, gamma=None, theta: int | None = None,
               algorithm: str = "auto", branching: str | None = None,
-              use_cache: bool = True) -> EnumerationResult:
-        """Solve one MQCE query, serving repeats from the result cache.
+              use_cache: bool = True, *,
+              spec: QuerySpec | None = None) -> EnumerationResult:
+        """Solve one query described by a :class:`QuerySpec`, serving repeats from cache.
 
-        The returned :class:`EnumerationResult` is content-identical to
-        ``find_maximal_quasi_cliques(graph, gamma, theta, ...)``; the
-        ``algorithm`` may differ when the planner picked a cheaper exact one
-        (all MQCE-S1 algorithms agree after MQCE-S2 filtering).
+        Both calling styles are supported — ``query(graph, spec)`` /
+        ``query(graph, spec=spec)`` with a :class:`repro.api.QuerySpec`, and
+        the PR-1 style ``query(graph, gamma, theta, algorithm=...,
+        branching=...)`` which builds the equivalent spec internally (both
+        styles address the same cache entries).
+
+        For the plain enumerate workload the returned
+        :class:`EnumerationResult` is content-identical to the one-shot
+        pipeline's result for the same parameters; the ``algorithm`` may
+        differ when the planner picked a cheaper exact one (all MQCE-S1
+        algorithms agree after MQCE-S2 filtering).  Top-k and containment
+        specs return the same envelope with their (ranked / constrained)
+        answers as ``maximal_quasi_cliques``.  Results truncated by a
+        ``time_limit`` are marked and never cached; ``max_results`` /
+        ``include_candidates`` shape only the delivered copy, so warm
+        identical queries still skip re-enumeration regardless of output
+        options.
         """
         start = time.perf_counter()
+        spec = coerce_spec(gamma, theta, algorithm, branching, spec=spec)
         prepared = self.prepare(graph)
-        plan = self.planner.plan(prepared, gamma, theta, algorithm=algorithm,
-                                 branching=branching, workers=self.workers)
-        key = ResultCache.make_key(prepared.fingerprint, gamma, theta,
-                                   plan.algorithm, plan.branching, plan.framework)
-        if use_cache:
+        plan = self.planner.plan_spec(prepared, spec, workers=self.workers)
+        resolved = spec.resolved(plan)
+        key = ResultCache.spec_key(prepared.fingerprint, resolved)
+        if use_cache and spec.cacheable:
             cached = self.cache.get(key)
             if cached is not None:
                 self._record(plan, cached=True, seconds=time.perf_counter() - start)
-                return self._copy_result(cached)
-        result = self._execute(prepared, plan)
-        if use_cache:
+                return shape_result(cached, spec)
+        result = self._execute_spec(prepared, resolved, plan)
+        if use_cache and spec.cacheable and not result.truncated:
             self.cache.put(key, result)
         self._record(plan, cached=False, seconds=time.perf_counter() - start)
-        return self._copy_result(result)
+        return shape_result(result, spec)
+
+    def stream(self, graph: Graph | PreparedGraph, gamma=None, theta: int | None = None,
+               algorithm: str = "auto", branching: str | None = None,
+               use_cache: bool = True, *,
+               spec: QuerySpec | None = None) -> ResultStream:
+        """Yield maximal quasi-cliques incrementally for one query.
+
+        Returns a :class:`~repro.engine.stream.ResultStream` iterator.  Warm
+        queries replay the cached answer; cold enumerate queries yield each
+        maximal quasi-clique as soon as it is *confirmed* (for DCFastQC plans
+        the first answers arrive long before the enumeration finishes) and
+        populate the cache when they run to completion.  The spec's budgets
+        (``time_limit``, ``max_results``) stop the underlying enumeration
+        cooperatively, and :meth:`ResultStream.cancel` aborts mid-flight.
+        Every set yielded by an incremental (DC) stream is genuinely maximal
+        in the full answer, even when the stream is truncated.
+        """
+        spec = coerce_spec(gamma, theta, algorithm, branching, spec=spec)
+        prepared = self.prepare(graph)
+        plan = self.planner.plan_spec(prepared, spec, workers=self.workers)
+        resolved = spec.resolved(plan)
+        key = ResultCache.spec_key(prepared.fingerprint, resolved)
+        return ResultStream(self, prepared, spec, plan, key, use_cache=use_cache)
 
     def query_batch(self, graph: Graph | PreparedGraph,
-                    requests: Iterable[QueryRequest | Mapping | tuple]
+                    requests: Iterable[QuerySpec | QueryRequest | Mapping | tuple]
                     ) -> list[EnumerationResult]:
         """Run many queries against one graph, preparing it exactly once.
 
-        ``requests`` entries may be :class:`QueryRequest` objects,
-        ``(gamma, theta[, algorithm[, branching]])`` tuples or mappings with
-        those keys.  Results come back in request order; duplicates within the
-        batch are served from the cache.
+        ``requests`` entries may be :class:`repro.api.QuerySpec` objects,
+        :class:`QueryRequest` objects, ``(gamma, theta[, algorithm[,
+        branching]])`` tuples or mappings with those keys.  Results come back
+        in request order; duplicates within the batch are served from the
+        cache.
         """
         prepared = self.prepare(graph)
         results = []
         for entry in requests:
+            if isinstance(entry, QuerySpec):
+                results.append(self.query(prepared, entry))
+                continue
             request = QueryRequest.coerce(entry)
             results.append(self.query(prepared, request.gamma, request.theta,
                                       algorithm=request.algorithm,
@@ -229,14 +274,24 @@ class MQCEEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _execute(self, prepared: PreparedGraph, plan: QueryPlan) -> EnumerationResult:
-        """Run one plan through the pipeline (or the parallel driver)."""
+    def _execute_spec(self, prepared: PreparedGraph, resolved: QuerySpec,
+                      plan: QueryPlan) -> EnumerationResult:
+        """Run one resolved spec through the right workload path."""
         if plan.trivial:
+            # Preprocessing proved no quasi-clique of size >= theta exists, so
+            # every workload's answer is empty.
             return EnumerationResult(
                 maximal_quasi_cliques=[], candidate_quasi_cliques=[],
                 algorithm=plan.algorithm, gamma=plan.gamma, theta=plan.theta)
         graph = prepared.graph
-        if plan.parallel:
+        if resolved.contains:
+            return containment_search(graph, resolved)
+        if resolved.k is not None:
+            return topk_search(graph, resolved,
+                               size_bound=prepared.size_upper_bound(resolved.gamma))
+        if plan.parallel and resolved.time_limit is None:
+            # The process-pool driver has no cooperative-cancellation channel,
+            # so budgeted queries always take the sequential path.
             runner = ParallelDCFastQC(graph, plan.gamma, plan.theta,
                                       branching=plan.branching, workers=plan.workers)
             start = time.perf_counter()
@@ -252,18 +307,7 @@ class MQCEEngine:
                 search_statistics=SearchStatistics(),
                 enumeration_seconds=enumeration_seconds,
                 filtering_seconds=filtering_seconds)
-        return find_maximal_quasi_cliques(graph, plan.gamma, plan.theta,
-                                          algorithm=plan.algorithm,
-                                          branching=plan.branching,
-                                          framework=plan.framework)
-
-    @staticmethod
-    def _copy_result(result: EnumerationResult) -> EnumerationResult:
-        """Shallow-copy the result lists so callers cannot corrupt cache entries."""
-        return dataclasses.replace(
-            result,
-            maximal_quasi_cliques=list(result.maximal_quasi_cliques),
-            candidate_quasi_cliques=list(result.candidate_quasi_cliques))
+        return run_enumeration(graph, resolved)
 
     def _record(self, plan: QueryPlan, cached: bool, seconds: float) -> None:
         self.history.append(QueryRecord(

@@ -107,6 +107,18 @@ class QueryPlanner:
     def __init__(self, config: PlannerConfig | None = None) -> None:
         self.config = config or PlannerConfig()
 
+    def plan_spec(self, prepared: PreparedGraph, spec,
+                  workers: int | None = None) -> QueryPlan:
+        """Plan one :class:`repro.api.QuerySpec` (the engine's planning entry).
+
+        Only the spec fields that influence plan selection are consulted
+        (gamma, theta, algorithm, branching); workload modifiers and budgets
+        do not change how the enumeration itself is best executed.
+        """
+        return self.plan(prepared, spec.gamma, spec.theta,
+                         algorithm=spec.algorithm, branching=spec.branching,
+                         workers=workers)
+
     def plan(self, prepared: PreparedGraph, gamma: float, theta: int,
              algorithm: str = "auto", branching: str | None = None,
              workers: int | None = None) -> QueryPlan:

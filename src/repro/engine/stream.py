@@ -1,0 +1,172 @@
+"""Engine-level streaming delivery: :class:`ResultStream`.
+
+``MQCEEngine.stream(spec)`` returns a :class:`ResultStream` — an iterator of
+maximal quasi-cliques that
+
+* serves **warm** queries straight from the result cache (yielding the cached
+  maximal sets in canonical order without re-enumerating),
+* runs **cold** enumerate queries through the incremental
+  :class:`~repro.pipeline.streaming.QuasiCliqueStream` (first answers arrive
+  while the enumeration is still running), and — when the stream runs to
+  completion un-truncated — assembles the full
+  :class:`~repro.pipeline.results.EnumerationResult` and inserts it into the
+  cache, so a later ``query()`` or ``stream()`` with the same spec is a hit,
+* computes top-k / containment workloads eagerly (they have no incremental
+  path) and yields their answers.
+
+Progress is observable mid-iteration: ``delivered``, ``finished``,
+``truncated`` and ``from_cache``.  :meth:`ResultStream.cancel` requests
+cooperative cancellation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Iterator
+
+from ..pipeline.mqce import canonical_order
+from ..pipeline.results import EnumerationResult
+from ..pipeline.streaming import QuasiCliqueStream
+
+
+class ResultStream(Iterator[frozenset]):
+    """An engine-managed stream of maximal quasi-cliques for one query."""
+
+    def __init__(self, engine, prepared, spec, plan, key: tuple,
+                 use_cache: bool = True) -> None:
+        self.spec = spec
+        self.plan = plan
+        self.delivered = 0
+        self.finished = False
+        self.truncated = False
+        self.from_cache = False
+        self._engine = engine
+        self._prepared = prepared
+        self._key = key
+        self._use_cache = use_cache
+        self._inner: QuasiCliqueStream | None = None
+        self._start = time.perf_counter()
+
+        if spec.contains or spec.k is not None:
+            # Top-k / containment constraints (regardless of count_only) have
+            # no incremental path; query() handles their caching (and its own
+            # hit/miss accounting).
+            self._iterator = self._eager()
+            return
+        cached = None
+        if use_cache and spec.cacheable:
+            cached = engine.cache.get(key)
+        if cached is not None:
+            self.from_cache = True
+            self._iterator = self._replay(cached)
+        elif plan.trivial:
+            self._iterator = self._empty()
+        else:
+            self._iterator = self._live()
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "ResultStream":
+        return self
+
+    def __next__(self) -> frozenset:
+        return next(self._iterator)
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation of a live stream."""
+        if self._inner is not None:
+            self._inner.cancel()
+
+    # ------------------------------------------------------------------
+    def _deliver(self, cliques) -> Iterator[frozenset]:
+        limit = self.spec.max_results
+        for clique in cliques:
+            if limit is not None and self.delivered >= limit:
+                self.truncated = True
+                return
+            self.delivered += 1
+            yield clique
+        self.finished = not self.truncated
+
+    def _replay(self, result: EnumerationResult) -> Iterator[frozenset]:
+        """Serve a cache hit: the canonical maximal list, budget-trimmed."""
+        self._engine._record(self.plan, cached=True,
+                             seconds=time.perf_counter() - self._start)
+        yield from self._deliver(list(result.maximal_quasi_cliques))
+
+    def _empty(self) -> Iterator[frozenset]:
+        """A trivial plan: preprocessing proved the answer empty."""
+        self._engine._record(self.plan, cached=False,
+                             seconds=time.perf_counter() - self._start)
+        self.finished = True
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _eager(self) -> Iterator[frozenset]:
+        """Top-k / containment: no incremental path; compute, then yield."""
+        # Fetch the un-trimmed answer (same cache entry: budgets are not part
+        # of the key) so _deliver can apply max_results and flag truncation.
+        base = dataclasses.replace(self.spec, max_results=None)
+        result = self._engine.query(self._prepared, base,
+                                    use_cache=self._use_cache)
+        self.truncated = result.truncated
+        yield from self._deliver(list(result.maximal_quasi_cliques))
+
+    def _live(self) -> Iterator[frozenset]:
+        """Cold enumerate query: stream incrementally, cache on completion."""
+        spec = self.spec
+        inner = QuasiCliqueStream(
+            self._prepared.graph, spec.gamma, spec.theta,
+            algorithm=spec.algorithm if spec.algorithm != "auto" else self.plan.algorithm,
+            branching=spec.branching or self.plan.branching,
+            framework=spec.framework or self.plan.framework,
+            max_rounds=spec.max_rounds, maximality_filter=spec.maximality_filter,
+            time_limit=spec.time_limit, max_results=spec.max_results)
+        self._inner = inner
+        collected: list[frozenset] = []
+        # Only time spent *inside* the enumerator counts; the clock stops
+        # while the generator is suspended at `yield`, so a slow consumer
+        # does not inflate the cached timings or the engine history.
+        active_seconds = 0.0
+        while True:
+            tick = time.perf_counter()
+            try:
+                clique = next(inner)
+            except StopIteration:
+                active_seconds += time.perf_counter() - tick
+                break
+            active_seconds += time.perf_counter() - tick
+            collected.append(clique)
+            self.delivered += 1
+            yield clique
+        self.truncated = inner.truncated
+        self.finished = inner.finished
+        if (self.finished and self._use_cache and spec.cacheable):
+            result = EnumerationResult(
+                maximal_quasi_cliques=canonical_order(collected),
+                candidate_quasi_cliques=list(inner.candidates),
+                algorithm=self.plan.algorithm,
+                gamma=spec.gamma,
+                theta=spec.theta,
+                search_statistics=inner.statistics,
+                enumeration_seconds=active_seconds,
+                filtering_seconds=0.0)
+            self._engine.cache.put(self._key, result)
+        self._engine._record(self.plan, cached=False, seconds=active_seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def subproblems_completed(self) -> int:
+        """DC subproblems fully processed by a live stream (0 otherwise)."""
+        return self._inner.subproblems_completed if self._inner is not None else 0
+
+    @property
+    def candidates_seen(self) -> int:
+        """MQCE-S1 candidates observed by a live stream (0 otherwise)."""
+        return self._inner.candidates_seen if self._inner is not None else 0
+
+    def __repr__(self) -> str:
+        state = ("finished" if self.finished
+                 else "truncated" if self.truncated else "running")
+        return (f"ResultStream({self.spec.describe()!r}, {state}, "
+                f"delivered={self.delivered}, from_cache={self.from_cache})")

@@ -1,0 +1,58 @@
+"""Unified exception hierarchy for the repro package.
+
+Every error the library raises on *invalid input* descends from
+:class:`ReproError`, so callers (and the CLI) can catch one type instead of
+guessing which submodule complained:
+
+``ReproError``
+    The package-wide base class.
+``QueryError``
+    Anything wrong with a query description: unknown workload or algorithm,
+    contradictory options, an unsatisfiable containment query, ...
+``ParameterError``
+    The classic MQCE parameter validation (gamma outside [0.5, 1] or a
+    non-positive theta).  A :class:`QueryError` subclass.
+``SpecError``
+    A structurally invalid :class:`repro.api.QuerySpec` (bad field values or
+    combinations).  A :class:`QueryError` subclass.
+``EngineError``
+    Invalid use of the persistent :class:`repro.engine.MQCEEngine` (e.g.
+    querying a prepared graph whose underlying graph was mutated).
+
+All of these also subclass :class:`ValueError`, preserving the exception types
+the pre-``repro.errors`` releases raised; ``except ValueError`` code keeps
+working.  :class:`repro.graph.GraphError` joins the hierarchy from its own
+module (it subclasses :class:`ReproError` there) so this module stays
+dependency-free.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro package."""
+
+
+class QueryError(ReproError, ValueError):
+    """An invalid or unsatisfiable query description."""
+
+
+class ParameterError(QueryError):
+    """Raised when gamma or theta are outside the problem's valid ranges."""
+
+
+class SpecError(QueryError):
+    """Raised when a :class:`repro.api.QuerySpec` is structurally invalid."""
+
+
+class EngineError(QueryError):
+    """Raised for invalid engine usage (e.g. querying a mutated prepared graph)."""
+
+
+__all__ = [
+    "ReproError",
+    "QueryError",
+    "ParameterError",
+    "SpecError",
+    "EngineError",
+]

@@ -1,35 +1,27 @@
-"""Query-driven maximal quasi-clique search.
+"""Query-driven maximal quasi-clique search (deprecated kwargs shims).
 
 The related work the paper cites ([11, 12, 25]) studies a constrained variant
 of MQCE: find the (maximal) gamma-quasi-cliques that *contain a given set of
 query vertices* — e.g. the communities around a particular user, or the
-functional groups involving a protein of interest.  The same FastQC engine
-solves this variant directly: the search is seeded with the query vertices as
-the partial set and restricted to their joint 2-hop neighbourhood (legal for
-gamma >= 0.5 by the diameter-2 property), and the output is filtered for
-global maximality against the whole graph.
+functional groups involving a protein of interest.
 
-Both entry points accept a :class:`repro.engine.PreparedGraph` in place of the
-graph, so an engine-managed prepared graph can serve containment queries
-without unwrapping at every call site.
+Since the :class:`repro.api.QuerySpec` redesign the actual implementation
+lives in :func:`repro.api.execute.containment_search` (the ``contains``
+workload); this module keeps the original entry points as thin shims:
+:func:`find_quasi_cliques_containing` delegates and emits a
+:class:`DeprecationWarning`, :func:`community_of` remains a supported
+convenience wrapper.  Both still accept a :class:`repro.engine.PreparedGraph`
+in place of the graph.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
-from functools import reduce
 
-from ..core.branch import Branch
-from ..core.fastqc import FastQC
+from ..errors import QueryError
 from ..graph.graph import Graph, VertexLabel
-from ..graph.subgraph import two_hop_mask
-from ..quasiclique.definitions import degree_threshold, validate_parameters
-from ..quasiclique.maximality import satisfies_maximality_necessary_condition
-from ..settrie.filter import filter_non_maximal
-
-
-class QueryError(ValueError):
-    """Raised when the query vertices cannot all belong to one quasi-clique."""
+from ..quasiclique.definitions import validate_parameters
 
 
 def _plain_graph(graph) -> Graph:
@@ -39,34 +31,18 @@ def _plain_graph(graph) -> Graph:
     return as_plain_graph(graph)
 
 
-def _query_candidate_mask(graph: Graph, query_indices: list[int], gamma: float,
-                          theta: int) -> int:
-    """Candidate region for a query: intersection of the queries' 2-hop balls."""
-    full = graph.full_mask()
-    balls = [two_hop_mask(graph, index, full) | (1 << index) for index in query_indices]
-    region = reduce(lambda a, b: a & b, balls, full)
-    # Degree-based shrinking, as in the DC framework's one-hop pruning.
-    required = degree_threshold(gamma, theta)
-    changed = True
-    query_bits = 0
-    for index in query_indices:
-        query_bits |= 1 << index
-    while changed:
-        changed = False
-        for vertex in list(graph.labels_of_mask(region)):
-            index = graph.index_of(vertex)
-            if (1 << index) & query_bits:
-                continue
-            if (graph.adjacency_mask(index) & region).bit_count() < required:
-                region &= ~(1 << index)
-                changed = True
-    return region | query_bits
-
-
 def find_quasi_cliques_containing(graph: Graph, query: Iterable[VertexLabel],
                                   gamma: float, theta: int = 1,
                                   require_maximal: bool = True) -> list[frozenset]:
     """Enumerate (maximal) gamma-quasi-cliques of size >= theta containing ``query``.
+
+    .. deprecated::
+        This kwargs entry point is superseded by the containment workload of
+        the :class:`repro.api.QuerySpec` API
+        (``Q(graph).gamma(gamma).theta(theta).containing(*query).run()``); it
+        now builds the equivalent spec, delegates to
+        :func:`repro.api.execute.containment_search` and emits a
+        :class:`DeprecationWarning`.
 
     Parameters
     ----------
@@ -82,29 +58,27 @@ def find_quasi_cliques_containing(graph: Graph, query: Iterable[VertexLabel],
         maximal in the *whole graph* among those found; when False, every
         quasi-clique found for the query seed is returned.
     """
+    warnings.warn(
+        "find_quasi_cliques_containing() is deprecated; use the QuerySpec "
+        "containment workload (Q(graph).gamma(...).theta(...)"
+        ".containing(*query).run() or MQCEEngine.query with a spec)",
+        DeprecationWarning, stacklevel=2)
+    return _containing(graph, query, gamma, theta, require_maximal)
+
+
+def _containing(graph, query, gamma, theta, require_maximal=True) -> list[frozenset]:
+    """Shared warning-free delegation to the spec containment workload."""
+    from ..api.execute import containment_search
+    from ..api.spec import QuerySpec
+
     graph = _plain_graph(graph)
     validate_parameters(gamma, theta)
     query_set = frozenset(query)
     if not query_set:
         raise QueryError("the query must contain at least one vertex")
-    query_indices = [graph.index_of(v) for v in query_set]
-
-    region = _query_candidate_mask(graph, query_indices, gamma, max(theta, len(query_set)))
-    query_mask = 0
-    for index in query_indices:
-        query_mask |= 1 << index
-    if region & query_mask != query_mask:
-        return []
-
-    engine = FastQC(graph, gamma, max(theta, len(query_set)), maximality_filter=False)
-    branch = Branch(query_mask, region & ~query_mask, 0)
-    found = engine.enumerate_branch(branch)
-    found = [clique for clique in found if query_set <= clique]
-    if not require_maximal:
-        return sorted(found, key=lambda h: (-len(h), sorted(map(str, h))))
-    maximal = [clique for clique in filter_non_maximal(found, theta=theta)
-               if satisfies_maximality_necessary_condition(graph, clique, gamma)]
-    return sorted(maximal, key=lambda h: (-len(h), sorted(map(str, h))))
+    spec = QuerySpec(gamma=gamma, theta=theta, contains=tuple(query_set),
+                     require_maximal=require_maximal)
+    return list(containment_search(graph, spec).maximal_quasi_cliques)
 
 
 def community_of(graph: Graph, vertex: VertexLabel, gamma: float, theta: int = 3
@@ -114,5 +88,5 @@ def community_of(graph: Graph, vertex: VertexLabel, gamma: float, theta: int = 3
     Returns the empty frozenset when no quasi-clique of size >= theta contains
     the vertex.  A convenience wrapper used by the community-search example.
     """
-    cliques = find_quasi_cliques_containing(graph, [vertex], gamma, theta)
+    cliques = _containing(graph, [vertex], gamma, theta)
     return cliques[0] if cliques else frozenset()

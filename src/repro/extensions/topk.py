@@ -20,6 +20,7 @@ the halving schedule.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 
 from ..core.dcfastqc import DCFastQC
@@ -43,10 +44,18 @@ def find_largest_quasi_cliques(graph: Graph, gamma: float, k: int = 1,
                                minimum_size: int = 2) -> list[frozenset]:
     """Return the ``k`` largest maximal gamma-quasi-cliques (exact).
 
-    The search runs DCFastQC with a size threshold that starts high and halves
-    until at least ``k`` maximal quasi-cliques of that size exist (or the
-    threshold reaches ``minimum_size``).  Ties are broken deterministically by
-    the sorted vertex labels.
+    .. deprecated::
+        This kwargs entry point is superseded by the top-k workload of the
+        :class:`repro.api.QuerySpec` API
+        (``Q(graph).gamma(gamma).theta(minimum_size).top(k).run()``); it now
+        builds the equivalent spec, delegates to
+        :func:`repro.api.execute.topk_search` and emits a
+        :class:`DeprecationWarning`.
+
+    The search runs the MQCE pipeline with a size threshold that starts high
+    and halves until at least ``k`` maximal quasi-cliques of that size exist
+    (or the threshold reaches ``minimum_size``).  Ties are broken
+    deterministically by the sorted vertex labels.
 
     Parameters
     ----------
@@ -58,27 +67,24 @@ def find_largest_quasi_cliques(graph: Graph, gamma: float, k: int = 1,
     minimum_size:
         Lower bound on the size threshold the search is willing to drop to.
     """
+    warnings.warn(
+        "find_largest_quasi_cliques() is deprecated; use the QuerySpec top-k "
+        "workload (Q(graph).gamma(...).theta(...).top(k).run() or "
+        "MQCEEngine.query with a spec)",
+        DeprecationWarning, stacklevel=2)
+    from ..api.execute import topk_search
+    from ..api.spec import QuerySpec
+
     graph, prepared = _unwrap_prepared(graph)
     validate_parameters(gamma, max(1, minimum_size))
     if k < 1:
         raise ValueError("k must be a positive integer")
     if graph.vertex_count == 0:
         return []
-    threshold = max(minimum_size, graph.vertex_count // 2)
-    if prepared is not None:
-        # No gamma-QC can exceed the degeneracy bound; starting the halving
-        # schedule there skips rounds that provably return nothing.
-        threshold = max(minimum_size, min(threshold, prepared.size_upper_bound(gamma)))
-    best: list[frozenset] = []
-    while True:
-        candidates = DCFastQC(graph, gamma, threshold).enumerate()
-        maximal = filter_non_maximal(candidates, theta=threshold)
-        if len(maximal) >= k or threshold <= minimum_size:
-            best = maximal
-            break
-        threshold = max(minimum_size, threshold // 2)
-    ranked = sorted(best, key=lambda clique: (-len(clique), sorted(map(str, clique))))
-    return ranked[:k]
+    spec = QuerySpec(gamma=gamma, theta=max(1, minimum_size), k=k,
+                     algorithm="dcfastqc")
+    bound = prepared.size_upper_bound(gamma) if prepared is not None else None
+    return list(topk_search(graph, spec, size_bound=bound).maximal_quasi_cliques)
 
 
 def expand_kernel(graph: Graph, kernel: frozenset, gamma: float) -> frozenset:
@@ -135,7 +141,17 @@ def kernel_expansion_top_k(graph: Graph, gamma: float, k: int = 1,
 
 def largest_quasi_clique_size(graph: Graph, gamma: float, minimum_size: int = 2) -> int:
     """Return the number of vertices of the largest gamma-quasi-clique (exact)."""
-    top = find_largest_quasi_cliques(graph, gamma, k=1, minimum_size=minimum_size)
+    from ..api.execute import topk_search
+    from ..api.spec import QuerySpec
+
+    graph, prepared = _unwrap_prepared(graph)
+    validate_parameters(gamma, max(1, minimum_size))
+    if graph.vertex_count == 0:
+        return 0
+    spec = QuerySpec(gamma=gamma, theta=max(1, minimum_size), k=1,
+                     algorithm="dcfastqc")
+    bound = prepared.size_upper_bound(gamma) if prepared is not None else None
+    top = topk_search(graph, spec, size_bound=bound).maximal_quasi_cliques
     return len(top[0]) if top else 0
 
 

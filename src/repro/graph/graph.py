@@ -21,11 +21,12 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Optional
 
+from ..errors import ReproError
 
 VertexLabel = Hashable
 
 
-class GraphError(ValueError):
+class GraphError(ReproError, ValueError):
     """Raised for invalid graph operations (unknown vertices, self-loops, ...)."""
 
 

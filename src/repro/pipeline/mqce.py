@@ -20,6 +20,8 @@ parallelism selection) and an LRU :class:`~repro.engine.cache.ResultCache`
 from __future__ import annotations
 
 import time
+import warnings
+from collections.abc import Callable
 
 from ..baselines.naive import NaiveEnumerator
 from ..baselines.quickplus import QuickPlus
@@ -35,6 +37,11 @@ from .results import EnumerationResult
 ALGORITHMS = ("dcfastqc", "fastqc", "quickplus", "naive")
 
 
+def resolve_algorithm(algorithm: str) -> str:
+    """Map the spec-level ``"auto"`` to the one-shot default MQCE-S1 algorithm."""
+    return "dcfastqc" if algorithm == "auto" else algorithm
+
+
 def canonical_order(quasi_cliques) -> list[frozenset]:
     """Deterministic result order: decreasing size, then sorted string labels."""
     return sorted(quasi_cliques, key=lambda h: (-len(h), sorted(map(str, h))))
@@ -43,22 +50,29 @@ def canonical_order(quasi_cliques) -> list[frozenset]:
 def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "dcfastqc",
                      branching: str | None = None, framework: str = "dc",
                      max_rounds: int = DEFAULT_MAX_ROUNDS,
-                     maximality_filter: bool = True):
+                     maximality_filter: bool = True,
+                     on_output: Callable[[frozenset], None] | None = None,
+                     should_stop: Callable[[], bool] | None = None):
     """Construct (but do not run) the requested MQCE-S1 enumerator.
 
     ``branching`` defaults to ``"hybrid"`` for FastQC/DCFastQC and ``"se"`` for
-    Quick+, matching the paper's configurations.
+    Quick+, matching the paper's configurations.  ``on_output`` and
+    ``should_stop`` feed the streaming/cancellation path; the naive baseline
+    ignores both (it materialises its answer in one exhaustive pass).
     """
     validate_parameters(gamma, theta)
     if algorithm == "dcfastqc":
         return DCFastQC(graph, gamma, theta, branching=branching or "hybrid",
                         framework=framework, max_rounds=max_rounds,
-                        maximality_filter=maximality_filter)
+                        maximality_filter=maximality_filter,
+                        on_output=on_output, should_stop=should_stop)
     if algorithm == "fastqc":
         return FastQC(graph, gamma, theta, branching=branching or "hybrid",
-                      maximality_filter=maximality_filter)
+                      maximality_filter=maximality_filter,
+                      on_output=on_output, should_stop=should_stop)
     if algorithm == "quickplus":
-        return QuickPlus(graph, gamma, theta, branching=branching or "se")
+        return QuickPlus(graph, gamma, theta, branching=branching or "se",
+                         on_output=on_output, should_stop=should_stop)
     if algorithm == "naive":
         return NaiveEnumerator(graph, gamma, theta)
     raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
@@ -73,12 +87,72 @@ def enumerate_candidate_quasi_cliques(graph: Graph, gamma: float, theta: int,
     return candidates, enumerator.statistics
 
 
+def run_enumeration(graph: Graph, spec,
+                    should_stop: Callable[[], bool] | None = None
+                    ) -> EnumerationResult:
+    """Run one full MQCE enumeration described by a :class:`repro.api.QuerySpec`.
+
+    This is the canonical execution path for the ``enumerate`` workload: it
+    builds the MQCE-S1 enumerator from the spec's execution knobs, filters the
+    candidates with the set-trie (MQCE-S2), and packs everything into an
+    :class:`EnumerationResult` — content-identical to what the deprecated
+    kwargs entry point :func:`find_maximal_quasi_cliques` returns for the same
+    parameters.
+
+    ``spec.algorithm="auto"`` resolves to DCFastQC here (no planner is
+    involved at this level; the engine plans before calling in).  A spec
+    ``time_limit`` — or an explicit ``should_stop`` predicate, which takes
+    precedence — stops the enumeration cooperatively; the result is then
+    marked ``truncated`` and holds the maximal sets of the candidates found
+    so far (a best-effort subset).
+    """
+    algorithm = resolve_algorithm(spec.algorithm)
+    framework = spec.framework if spec.framework is not None else "dc"
+    if should_stop is None and spec.time_limit is not None:
+        deadline = time.monotonic() + spec.time_limit
+        should_stop = lambda: time.monotonic() >= deadline  # noqa: E731
+    enumerator = build_enumerator(graph, spec.gamma, spec.theta, algorithm=algorithm,
+                                  branching=spec.branching, framework=framework,
+                                  max_rounds=spec.max_rounds,
+                                  maximality_filter=spec.maximality_filter,
+                                  should_stop=should_stop)
+    start = time.perf_counter()
+    candidates = enumerator.enumerate()
+    enumeration_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    maximal = filter_non_maximal(candidates, theta=spec.theta)
+    filtering_seconds = time.perf_counter() - start
+
+    return EnumerationResult(
+        maximal_quasi_cliques=canonical_order(maximal),
+        candidate_quasi_cliques=list(candidates),
+        algorithm=algorithm,
+        gamma=spec.gamma,
+        theta=spec.theta,
+        search_statistics=enumerator.statistics,
+        enumeration_seconds=enumeration_seconds,
+        filtering_seconds=filtering_seconds,
+        truncated=getattr(enumerator, "stopped", False),
+    )
+
+
 def find_maximal_quasi_cliques(graph: Graph, gamma: float, theta: int,
                                algorithm: str = "dcfastqc",
                                branching: str | None = None, framework: str = "dc",
                                max_rounds: int = DEFAULT_MAX_ROUNDS,
                                maximality_filter: bool = True) -> EnumerationResult:
     """Enumerate every maximal gamma-quasi-clique of size >= theta (full MQCE).
+
+    .. deprecated::
+        This kwargs entry point is superseded by the declarative
+        :class:`repro.api.QuerySpec` API::
+
+            from repro.api import Q
+            result = Q(graph).gamma(0.9).theta(5).run()
+
+        It now delegates to :func:`run_enumeration` and returns an identical
+        result, emitting a :class:`DeprecationWarning`.
 
     Parameters
     ----------
@@ -101,25 +175,13 @@ def find_maximal_quasi_cliques(graph: Graph, gamma: float, theta: int,
         With the maximal quasi-cliques, the candidate (pre-filter) set, timing
         and branch-and-bound statistics.
     """
-    enumerator = build_enumerator(graph, gamma, theta, algorithm=algorithm,
-                                  branching=branching, framework=framework,
-                                  max_rounds=max_rounds,
-                                  maximality_filter=maximality_filter)
-    start = time.perf_counter()
-    candidates = enumerator.enumerate()
-    enumeration_seconds = time.perf_counter() - start
+    warnings.warn(
+        "find_maximal_quasi_cliques() is deprecated; build a repro.api.QuerySpec "
+        "(e.g. Q(graph).gamma(...).theta(...).run()) or use MQCEEngine.query()",
+        DeprecationWarning, stacklevel=2)
+    from ..api.spec import QuerySpec
 
-    start = time.perf_counter()
-    maximal = filter_non_maximal(candidates, theta=theta)
-    filtering_seconds = time.perf_counter() - start
-
-    return EnumerationResult(
-        maximal_quasi_cliques=canonical_order(maximal),
-        candidate_quasi_cliques=list(candidates),
-        algorithm=algorithm,
-        gamma=gamma,
-        theta=theta,
-        search_statistics=enumerator.statistics,
-        enumeration_seconds=enumeration_seconds,
-        filtering_seconds=filtering_seconds,
-    )
+    spec = QuerySpec(gamma=gamma, theta=theta, algorithm=algorithm,
+                     branching=branching, framework=framework,
+                     max_rounds=max_rounds, maximality_filter=maximality_filter)
+    return run_enumeration(graph, spec)

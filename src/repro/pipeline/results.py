@@ -26,6 +26,10 @@ class EnumerationResult:
         Branch-and-bound counters (branches explored, prunes, outputs, ...).
     enumeration_seconds / filtering_seconds:
         Wall-clock time of the MQCE-S1 search and the MQCE-S2 set-trie filter.
+    truncated:
+        True when a query budget (``time_limit``) stopped the enumeration
+        before completion; the result is then a best-effort subset and is
+        never cached by the engine.
     """
 
     maximal_quasi_cliques: list[frozenset]
@@ -36,6 +40,7 @@ class EnumerationResult:
     search_statistics: SearchStatistics = field(default_factory=SearchStatistics)
     enumeration_seconds: float = 0.0
     filtering_seconds: float = 0.0
+    truncated: bool = False
 
     @property
     def maximal_count(self) -> int:

@@ -20,16 +20,13 @@ from collections.abc import Iterable
 from fractions import Fraction
 from functools import lru_cache
 
+from ..errors import ParameterError
 from ..graph.graph import Graph, VertexLabel, iter_bits
 from ..graph.subgraph import is_connected
 
 #: The paper restricts gamma to [0.5, 1] so that quasi-cliques have diameter <= 2.
 GAMMA_MIN = 0.5
 GAMMA_MAX = 1.0
-
-
-class ParameterError(ValueError):
-    """Raised when gamma or theta are outside the problem's valid ranges."""
 
 
 def validate_parameters(gamma: float, theta: int) -> None:
