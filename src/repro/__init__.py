@@ -65,9 +65,11 @@ from .engine import (
     ResultStream,
     prepare_graph,
 )
-from . import api, datasets, engine, experiments, extensions
+from .dynamic import DynamicEngine, DynamicPreparedGraph, UpdateReport
+from .graph import GraphDelta, GraphMutation
+from . import api, datasets, dynamic, engine, experiments, extensions
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
@@ -112,8 +114,14 @@ __all__ = [
     "ResultCache",
     "ResultStream",
     "prepare_graph",
+    "DynamicEngine",
+    "DynamicPreparedGraph",
+    "UpdateReport",
+    "GraphDelta",
+    "GraphMutation",
     "api",
     "datasets",
+    "dynamic",
     "engine",
     "experiments",
     "extensions",

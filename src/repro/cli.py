@@ -22,6 +22,12 @@ Sub-commands
                grid through one engine), ``engine explain`` (print the chosen
                plan without enumerating) and ``engine stats`` (prepared-graph
                artifacts and timings).
+``dynamic``    Dynamic graph updates with incremental engine maintenance:
+               ``dynamic apply`` (run an update script against a graph and
+               write/report the result), ``dynamic query`` (query, apply the
+               updates incrementally, query again — reporting which cache
+               entries survived) and ``dynamic stats`` (patch counters, core
+               drift and invalidation statistics after the updates).
 
 Errors derived from :class:`repro.errors.ReproError` (bad parameters, invalid
 specs, unsatisfiable queries) exit with code 2 and a one-line message instead
@@ -40,13 +46,14 @@ from .api import QuerySpec
 from .api.execute import containment_search, topk_search
 from .core.dcfastqc import DC_FRAMEWORKS
 from .datasets.registry import REGISTRY, get_spec, load_dataset, load_prepared
+from .dynamic import DynamicEngine, read_update_script
 from .engine import MQCEEngine, QueryRequest, prepare_graph
 from .errors import ReproError, SpecError
 from .experiments import figures as figure_module
 from .experiments.harness import format_table
 from .experiments.tables import table1_rows
 from .extensions.topk import kernel_expansion_top_k
-from .graph.io import read_edge_list, write_quasi_cliques
+from .graph.io import read_edge_list, write_edge_list, write_quasi_cliques
 from .graph.statistics import graph_statistics
 from .pipeline.mqce import ALGORITHMS, run_enumeration
 
@@ -408,6 +415,91 @@ def _command_engine_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# The `dynamic` sub-command group (graph updates + incremental maintenance)
+# ----------------------------------------------------------------------
+def _load_dynamic(args: argparse.Namespace) -> DynamicEngine:
+    name = get_spec(args.dataset).name if args.dataset else args.input
+    return DynamicEngine(_load_graph(args), name=name)
+
+
+def _report_lines(report) -> str:
+    rebuilt = " (full rebuild: delta history exhausted)" if report.full_rebuild else ""
+    return (f"# {report.mutations} mutations applied{rebuilt}: "
+            f"+{report.added_edges}/-{report.removed_edges} edges, "
+            f"+{report.added_vertices}/-{report.removed_vertices} vertices; "
+            f"cache: {report.invalidated} invalidated, {report.retained} retained "
+            f"({report.rekeyed} re-addressed), "
+            f"fingerprint {report.old_fingerprint} -> {report.new_fingerprint}")
+
+
+def _command_dynamic_apply(args: argparse.Namespace) -> int:
+    dynamic = _load_dynamic(args)
+    updates = read_update_script(args.updates)
+    report = dynamic.apply(updates)
+    graph = dynamic.graph
+    if args.output:
+        write_edge_list(graph, args.output)
+    if args.json:
+        payload = {"report": report.as_dict(),
+                   "graph": {"vertices": graph.vertex_count,
+                             "edges": graph.edge_count,
+                             "version": graph.version}}
+        print(json.dumps(payload, indent=2))
+    else:
+        print(_report_lines(report))
+        print(f"# graph now |V|={graph.vertex_count}, |E|={graph.edge_count}, "
+              f"version {graph.version}")
+    return 0
+
+
+def _command_dynamic_query(args: argparse.Namespace) -> int:
+    dynamic = _load_dynamic(args)
+    gamma, theta = _require_parameters(args)
+    before = None
+    if args.before:
+        before = dynamic.query(gamma, theta, algorithm=args.algorithm)
+    report = None
+    if args.updates:
+        report = dynamic.apply(read_update_script(args.updates))
+    result = dynamic.query(gamma, theta, algorithm=args.algorithm)
+    stats = dynamic.stats()
+    if args.json:
+        payload = {"result": result.summary(), "engine": stats}
+        if before is not None:
+            payload["before"] = before.summary()
+        if report is not None:
+            payload["report"] = report.as_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        if before is not None:
+            print(f"# before updates: {before.maximal_count} maximal "
+                  f"{gamma}-quasi-cliques with >= {theta} vertices")
+        if report is not None:
+            print(_report_lines(report))
+        print(f"# {result.maximal_count} maximal {gamma}-quasi-cliques with >= {theta} "
+              f"vertices ({result.algorithm})")
+        for clique in result.maximal_quasi_cliques:
+            _print_clique(clique)
+        cache = stats["cache"]
+        print(f"# cache: {cache['hits']} hits / {cache['misses']} misses; "
+              f"{stats['dynamic']['updates']['entries_retained']} entries retained "
+              f"across updates")
+    if args.output:
+        write_quasi_cliques(result.maximal_quasi_cliques, args.output)
+    return 0
+
+
+def _command_dynamic_stats(args: argparse.Namespace) -> int:
+    dynamic = _load_dynamic(args)
+    if args.updates:
+        dynamic.apply(read_update_script(args.updates))
+    summary = dynamic.prepared.summary()
+    payload = {"prepared": summary, "dynamic": dynamic.stats()["dynamic"]}
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mqce",
@@ -540,6 +632,45 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="prepare the graph and print its artifacts and timings")
     _add_graph_arguments(stats_sub)
     stats_sub.set_defaults(handler=_command_engine_stats)
+
+    dynamic_parser = subparsers.add_parser(
+        "dynamic", help="dynamic graph updates with incremental engine maintenance")
+    dynamic_subparsers = dynamic_parser.add_subparsers(dest="dynamic_command",
+                                                       required=True)
+
+    apply_sub = dynamic_subparsers.add_parser(
+        "apply", help="apply an update script to a graph and report the sync")
+    _add_graph_arguments(apply_sub)
+    apply_sub.add_argument("--updates", "-u", required=True,
+                           help="update script: 'add U V' / 'remove U V' / "
+                           "'add-vertex U' / 'remove-vertex U' per line")
+    apply_sub.add_argument("--output", "-o", help="write the updated edge list here")
+    apply_sub.add_argument("--json", action="store_true", help="print JSON only")
+    apply_sub.set_defaults(handler=_command_dynamic_apply)
+
+    dquery_sub = dynamic_subparsers.add_parser(
+        "query", help="query through the dynamic engine, applying updates "
+        "incrementally in between")
+    _add_graph_arguments(dquery_sub)
+    dquery_sub.add_argument("--updates", "-u", help="update script applied before "
+                            "the (final) query")
+    dquery_sub.add_argument("--gamma", "-g", type=float, help="degree fraction in [0.5, 1]")
+    dquery_sub.add_argument("--theta", "-t", type=int, help="minimum quasi-clique size")
+    dquery_sub.add_argument("--algorithm", "-a", choices=("auto",) + ALGORITHMS,
+                            default="auto", help="force the MQCE-S1 algorithm")
+    dquery_sub.add_argument("--before", action="store_true",
+                            help="also run (and report) the query before the updates, "
+                            "demonstrating which cache entries survive")
+    dquery_sub.add_argument("--output", "-o", help="write the final answers to this file")
+    dquery_sub.add_argument("--json", action="store_true", help="print JSON only")
+    dquery_sub.set_defaults(handler=_command_dynamic_query)
+
+    dstats_sub = dynamic_subparsers.add_parser(
+        "stats", help="print incremental-maintenance statistics (patch counters, "
+        "core drift, invalidations)")
+    _add_graph_arguments(dstats_sub)
+    dstats_sub.add_argument("--updates", "-u", help="update script applied first")
+    dstats_sub.set_defaults(handler=_command_dynamic_stats)
 
     return parser
 

@@ -9,6 +9,7 @@ from .registry import (
     default_parameters,
     get_spec,
     load_dataset,
+    load_dynamic,
     load_prepared,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "default_parameters",
     "get_spec",
     "load_dataset",
+    "load_dynamic",
     "load_prepared",
 ]

@@ -1,0 +1,43 @@
+"""Dynamic graph updates with incremental engine maintenance.
+
+This subsystem turns the batch reproduction into a servable system for graphs
+that change: :class:`DynamicEngine` binds a mutable graph to an
+:class:`~repro.engine.MQCEEngine`, patches the prepared-graph artifacts from
+the graph's mutation changelog, and invalidates the result cache *selectively*
+through a vertex → cached-entry inverted index — entries untouched by a
+mutation survive (re-addressed to the new content fingerprint) and keep their
+warm-hit speedup.
+
+Quickstart
+----------
+>>> from repro import Graph
+>>> from repro.dynamic import DynamicEngine
+>>> graph = Graph(edges=[(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (1, 4)])
+>>> dynamic = DynamicEngine(graph)
+>>> dynamic.query(0.9, 3).maximal_quasi_cliques
+[frozenset({1, 2, 3, 4})]
+>>> report = dynamic.remove_edge(1, 4)
+>>> sorted(sorted(h) for h in dynamic.query(0.9, 3).maximal_quasi_cliques)
+[[1, 2, 3], [2, 3, 4]]
+"""
+
+from .engine import DynamicEngine, UpdateReport, UpdateStats
+from .fingerprint import IncrementalFingerprint
+from .index import CacheIndex, EntryMeta
+from .prepared import DynamicPreparedGraph
+from .updates import UpdateError, UpdateOp, normalise_update, parse_updates, read_update_script
+
+__all__ = [
+    "DynamicEngine",
+    "DynamicPreparedGraph",
+    "CacheIndex",
+    "EntryMeta",
+    "IncrementalFingerprint",
+    "UpdateError",
+    "UpdateOp",
+    "UpdateReport",
+    "UpdateStats",
+    "normalise_update",
+    "parse_updates",
+    "read_update_script",
+]

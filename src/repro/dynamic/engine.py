@@ -1,0 +1,435 @@
+"""The dynamic query engine: incremental maintenance under graph mutations.
+
+:class:`DynamicEngine` binds one mutable :class:`~repro.graph.Graph` to one
+:class:`~repro.engine.MQCEEngine` and keeps the whole serving stack coherent
+while the graph changes:
+
+1. **Artifact patching** — the engine's
+   :class:`~repro.dynamic.prepared.DynamicPreparedGraph` consumes the graph's
+   :class:`~repro.graph.delta.GraphDelta` records and patches its memoized
+   preprocessing (fingerprint, degrees, components, core bounds) instead of
+   recomputing it, so post-update queries skip the O(|V| + |E|) re-prepare.
+2. **Selective cache invalidation** — a vertex → cached-entry inverted index
+   (:class:`~repro.dynamic.index.CacheIndex`) confines invalidation to the
+   entries a mutation can actually affect.  For γ >= 0.5 every quasi-clique
+   has diameter <= 2, so any maximal quasi-clique that appears or disappears
+   lies inside the 2-hop neighbourhood of a touched edge; the rules below are
+   conservative (they may invalidate a still-valid entry) but never retain a
+   stale one:
+
+   * *edge removed* ``(u, v)`` — removing an edge cannot create a new
+     quasi-clique, only kill answers containing both endpoints or promote
+     their subsets to maximal; an entry is stale iff one of its result sets
+     contains **both** ``u`` and ``v``.
+   * *edge added* ``(u, v)`` — an entry is stale if its region intersects
+     the 2-hop ball of ``{u, v}`` (an existing answer could be absorbed), or
+     if a *new* answer could have appeared: both endpoints survive the
+     ``ceil(gamma * (theta - 1))``-core of the subgraph induced by the ball
+     and that core is at least ``theta`` strong.
+   * *vertex removed* — stale iff the vertex is in the entry's region (its
+     incident edge removals are handled by the rule above first).
+   * *vertex added* — only entries with ``theta <= 1`` change (the new
+     isolated vertex is itself a maximal quasi-clique).
+
+3. **Entry re-addressing** — entries that survive are re-keyed from the old
+   content fingerprint to the new one, so warm hits keep their speedup across
+   updates instead of dying with the fingerprint.
+
+Mutations may be applied through the engine (:meth:`DynamicEngine.add_edge`
+and friends, or :meth:`DynamicEngine.apply` for a batch) or directly on the
+graph — queries call :meth:`DynamicEngine.sync` first, which drains the
+pending delta records.  When the graph's bounded changelog no longer reaches
+back to the last synced version, the engine falls back to a full rebuild
+(every entry invalidated, artifacts refreshed) and reports it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from dataclasses import asdict, dataclass, field
+
+from ..api.spec import QuerySpec
+from ..engine.cache import ResultCache
+from ..engine.engine import MQCEEngine, QueryRequest
+from ..engine.prepared import PreparedGraph
+from ..errors import EngineError
+from ..graph.core_decomposition import core_numbers
+from ..graph.delta import GraphMutation
+from ..graph.graph import Graph
+from ..graph.subgraph import two_hop_mask
+from ..pipeline.results import EnumerationResult
+from ..quasiclique.definitions import degree_threshold
+from .index import CacheIndex
+from .prepared import DynamicPreparedGraph
+from .updates import UpdateOp, normalise_update
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`DynamicEngine.sync` accomplished."""
+
+    mutations: int = 0
+    added_vertices: int = 0
+    removed_vertices: int = 0
+    added_edges: int = 0
+    removed_edges: int = 0
+    entries_before: int = 0
+    invalidated: int = 0
+    retained: int = 0
+    rekeyed: int = 0
+    full_rebuild: bool = False
+    old_fingerprint: str = ""
+    new_fingerprint: str = ""
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class UpdateStats:
+    """Cumulative counters across every sync of one dynamic engine."""
+
+    syncs: int = 0
+    mutations: int = 0
+    entries_invalidated: int = 0
+    entries_retained: int = 0
+    entries_rekeyed: int = 0
+    full_rebuilds: int = 0
+    operations: Counter = field(default_factory=Counter)
+
+    def absorb(self, report: UpdateReport, by_op: Counter) -> None:
+        self.syncs += 1
+        self.mutations += report.mutations
+        self.entries_invalidated += report.invalidated
+        self.entries_retained += report.retained
+        self.entries_rekeyed += report.rekeyed
+        self.full_rebuilds += 1 if report.full_rebuild else 0
+        self.operations.update(by_op)
+
+    def as_dict(self) -> dict:
+        return {
+            "syncs": self.syncs,
+            "mutations": self.mutations,
+            "entries_invalidated": self.entries_invalidated,
+            "entries_retained": self.entries_retained,
+            "entries_rekeyed": self.entries_rekeyed,
+            "full_rebuilds": self.full_rebuilds,
+            "operations": dict(self.operations),
+        }
+
+
+class DynamicEngine:
+    """A mutation-aware facade over one graph and one :class:`MQCEEngine`.
+
+    Parameters
+    ----------
+    graph:
+        The mutable graph this engine serves.
+    engine:
+        An optional shared :class:`MQCEEngine` (a fresh one is created by
+        default).  Its result cache is consulted and maintained selectively.
+    name:
+        Optional human-readable name for the prepared graph.
+    """
+
+    def __init__(self, graph: Graph, engine: MQCEEngine | None = None,
+                 name: str | None = None) -> None:
+        self.graph = graph
+        self.engine = engine or MQCEEngine()
+        self.prepared = DynamicPreparedGraph(graph, name=name)
+        self._index = CacheIndex()
+        self._version = graph.version
+        self.update_stats = UpdateStats()
+
+    # ------------------------------------------------------------------
+    # Mutation facade
+    # ------------------------------------------------------------------
+    def add_edge(self, u, v) -> UpdateReport:
+        """Add one edge (creating endpoints as needed) and sync."""
+        self.graph.add_edge(u, v)
+        return self.sync()
+
+    def remove_edge(self, u, v) -> UpdateReport:
+        """Remove one edge and sync."""
+        self.graph.remove_edge(u, v)
+        return self.sync()
+
+    def add_vertex(self, label) -> UpdateReport:
+        """Add one (isolated) vertex and sync."""
+        self.graph.add_vertex(label)
+        return self.sync()
+
+    def remove_vertex(self, label) -> UpdateReport:
+        """Remove one vertex with its incident edges and sync."""
+        self.graph.remove_vertex(label)
+        return self.sync()
+
+    def apply(self, updates: Iterable[UpdateOp | tuple]) -> UpdateReport:
+        """Apply a batch of update operations, then sync once.
+
+        ``updates`` entries are ``(op, u[, v])`` tuples or :class:`UpdateOp`
+        records (see :mod:`repro.dynamic.updates` for accepted spellings).
+        """
+        for entry in updates:
+            update = normalise_update(entry)
+            mutator = getattr(self.graph, update.op)
+            if update.v is None:
+                mutator(update.u)
+            else:
+                mutator(update.u, update.v)
+        return self.sync()
+
+    # ------------------------------------------------------------------
+    # Synchronisation (artifact patching + selective invalidation)
+    # ------------------------------------------------------------------
+    def sync(self) -> UpdateReport:
+        """Bring artifacts and cache in line with the graph's current version."""
+        start = time.perf_counter()
+        if self.graph.version == self._version:
+            fingerprint = self.prepared.fingerprint
+            return UpdateReport(entries_before=len(self._index),
+                                retained=len(self._index),
+                                old_fingerprint=fingerprint,
+                                new_fingerprint=fingerprint,
+                                seconds=time.perf_counter() - start)
+        pending = self.graph.delta.since(self._version)
+        if pending is None:
+            return self._full_rebuild(start)
+        old_fingerprint = self.prepared.fingerprint
+        self._reconcile(old_fingerprint)
+        entries_before = len(self._index)
+        self.prepared.apply(pending)
+        self._version = self.graph.version
+        new_fingerprint = self.prepared.fingerprint
+        stale = self._stale_entries(pending)
+        for key in stale:
+            self.engine.cache.discard(key)
+            self._index.discard(key)
+        rekeyed = 0
+        if old_fingerprint != new_fingerprint:
+            for key in self._index.keys():
+                new_key = (new_fingerprint,) + tuple(key[1:])
+                if self.engine.cache.rekey(key, new_key):
+                    rekeyed += 1
+                    self._index.rekey(key, new_key)
+                else:
+                    self._index.discard(key)  # evicted by the LRU meanwhile
+        by_op = Counter(mutation.op for mutation in pending)
+        report = UpdateReport(
+            mutations=len(pending),
+            added_vertices=by_op.get("add_vertex", 0),
+            removed_vertices=by_op.get("remove_vertex", 0),
+            added_edges=by_op.get("add_edge", 0),
+            removed_edges=by_op.get("remove_edge", 0),
+            entries_before=entries_before,
+            invalidated=len(stale),
+            retained=len(self._index),
+            rekeyed=rekeyed,
+            old_fingerprint=old_fingerprint,
+            new_fingerprint=new_fingerprint,
+            seconds=time.perf_counter() - start,
+        )
+        self.update_stats.absorb(report, by_op)
+        return report
+
+    def _full_rebuild(self, start: float) -> UpdateReport:
+        """Delta history lost: invalidate everything and refresh the artifacts."""
+        old_fingerprint = self.prepared.fingerprint
+        self._reconcile(old_fingerprint)
+        entries_before = len(self._index)
+        for key in self._index.keys():
+            self.engine.cache.discard(key)
+        self._index.clear()
+        self.prepared.refresh()
+        self._version = self.graph.version
+        report = UpdateReport(
+            entries_before=entries_before,
+            invalidated=entries_before,
+            full_rebuild=True,
+            old_fingerprint=old_fingerprint,
+            new_fingerprint=self.prepared.fingerprint,
+            seconds=time.perf_counter() - start,
+        )
+        self.update_stats.absorb(report, Counter())
+        return report
+
+    def _reconcile(self, fingerprint: str) -> None:
+        """Register cache entries for this graph that arrived since last sync.
+
+        Entries appear in the shared cache through ``query``, ``query_batch``
+        and completed ``stream`` runs; scanning the (bounded) cache for keys
+        under the current fingerprint keeps the index complete no matter which
+        path inserted them.  The spec-key layout puts gamma and theta right
+        after the ``"spec"`` tag (see :meth:`QuerySpec.cache_key`).
+        """
+        for key in self.engine.cache.keys():
+            if not (isinstance(key, tuple) and len(key) >= 4
+                    and key[0] == fingerprint and key[1] == "spec"):
+                continue
+            if key in self._index:
+                continue
+            value = self.engine.cache.peek(key)
+            if isinstance(value, EnumerationResult):
+                gamma, theta = key[2], key[3]
+                self._index.register(key, value, gamma, theta)
+
+    # ------------------------------------------------------------------
+    # Invalidation rules
+    # ------------------------------------------------------------------
+    def _stale_entries(self, pending: list[GraphMutation]) -> set:
+        graph = self.graph
+        stale: set = set()
+        added_pairs = [(m.u, m.v) for m in pending if m.op == "add_edge"]
+        removed_pairs = [(m.u, m.v) for m in pending if m.op == "remove_edge"]
+        removed_vertices = [m.u for m in pending if m.op == "remove_vertex"]
+        vertex_added = any(m.op == "add_vertex" for m in pending)
+
+        # A new isolated vertex is itself a maximal quasi-clique when theta <= 1.
+        if vertex_added:
+            stale |= {key for key, meta in self._index.items() if meta.theta <= 1}
+
+        # A removed vertex takes every answer that mentioned it.
+        for label in removed_vertices:
+            stale |= self._index.touching((label,))
+
+        # Removal: answers only change where a result held both endpoints.
+        for u, v in removed_pairs:
+            for key in self._index.touching((u,)) & self._index.touching((v,)):
+                if key in stale:
+                    continue
+                meta = self._index.get(key)
+                if any(u in result and v in result for result in meta.result_sets):
+                    stale.add(key)
+
+        # Addition: region intersection with the 2-hop ball, plus the
+        # new-answer test on the ball's core.
+        for u, v in added_pairs:
+            if u not in graph or v not in graph or not graph.has_edge(u, v):
+                # The pair did not survive to the final graph; any transient
+                # effect is covered by the records that undid it.
+                continue
+            ball = self._touched_ball(u, v)
+            stale |= self._index.touching(ball)
+            remaining = [(key, meta) for key, meta in self._index.items()
+                         if key not in stale]
+            if not remaining:
+                continue
+            ball_cores = core_numbers(graph.induced_subgraph(ball))
+            for key, meta in remaining:
+                threshold = degree_threshold(meta.gamma, meta.theta)
+                if threshold <= 0:
+                    stale.add(key)
+                    continue
+                if (ball_cores.get(u, 0) >= threshold
+                        and ball_cores.get(v, 0) >= threshold
+                        and sum(1 for core in ball_cores.values()
+                                if core >= threshold) >= meta.theta):
+                    stale.add(key)
+        return stale
+
+    def _touched_ball(self, u, v) -> frozenset:
+        """Labels within distance 2 of either endpoint, in the current graph."""
+        graph = self.graph
+        full = graph.full_mask()
+        iu, iv = graph.index_of(u), graph.index_of(v)
+        mask = (two_hop_mask(graph, iu, full) | two_hop_mask(graph, iv, full)
+                | (1 << iu) | (1 << iv))
+        return graph.labels_of_mask(mask)
+
+    # ------------------------------------------------------------------
+    # Query facade (QuerySpec-compatible, graph-bound)
+    # ------------------------------------------------------------------
+    def _strip_graph(self, args: tuple) -> tuple:
+        """Allow the MQCEEngine calling convention (graph first) for reuse.
+
+        ``Q(graph).run(engine=dynamic_engine)`` and similar callers pass the
+        graph positionally; it must be the graph (or prepared graph) this
+        engine is bound to.
+        """
+        if args and isinstance(args[0], (Graph, PreparedGraph)):
+            target = args[0]
+            if target is not self.graph and target is not self.prepared:
+                raise EngineError(
+                    "a DynamicEngine is bound to one graph; "
+                    "pass queries for other graphs to their own engine")
+            return args[1:]
+        return args
+
+    def query(self, *args, spec: QuerySpec | None = None,
+              use_cache: bool = True, **kwargs) -> EnumerationResult:
+        """Serve one query against the current graph content (synced first).
+
+        Accepts the same calling styles as :meth:`MQCEEngine.query`, minus the
+        graph (optionally passed for compatibility): a :class:`QuerySpec`,
+        ``spec=...``, or ``(gamma, theta, ...)``.
+        """
+        args = self._strip_graph(args)
+        self.sync()
+        return self.engine.query(self.prepared, *args, spec=spec,
+                                 use_cache=use_cache, **kwargs)
+
+    def stream(self, *args, spec: QuerySpec | None = None,
+               use_cache: bool = True, **kwargs):
+        """Stream one query's answers incrementally (synced first).
+
+        The graph must not be mutated while the returned stream is being
+        consumed; a stream that observes a mutation will refuse to populate
+        the cache, and the next ``sync`` reconciles whatever completed.
+        """
+        args = self._strip_graph(args)
+        self.sync()
+        return self.engine.stream(self.prepared, *args, spec=spec,
+                                  use_cache=use_cache, **kwargs)
+
+    def explain(self, *args, spec: QuerySpec | None = None, **kwargs):
+        """Return the plan the engine would use right now (synced first)."""
+        args = self._strip_graph(args)
+        self.sync()
+        return self.engine.explain(self.prepared, *args, spec=spec, **kwargs)
+
+    def query_batch(self, requests: Iterable[QuerySpec | QueryRequest | Mapping | tuple]
+                    ) -> list[EnumerationResult]:
+        """Run many queries against the current content, syncing once."""
+        self.sync()
+        return self.engine.query_batch(self.prepared, requests)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The graph version this engine has synced up to."""
+        return self._version
+
+    @property
+    def pending_mutations(self) -> int:
+        """Mutations applied to the graph but not yet synced."""
+        return self.graph.version - self._version
+
+    def indexed_entries(self) -> int:
+        """Cache entries currently tracked by the inverted index."""
+        return len(self._index)
+
+    def stats(self) -> dict:
+        """Engine + update counters (see :meth:`MQCEEngine.stats`)."""
+        data = self.engine.stats()
+        data["dynamic"] = {
+            "graph_version": self.graph.version,
+            "synced_version": self._version,
+            "indexed_entries": len(self._index),
+            "updates": self.update_stats.as_dict(),
+            "prepared_patches": dict(self.prepared.patch_counts),
+            "core_drift": dict(zip(("inserts", "removals"), self.prepared.core_drift)),
+        }
+        return data
+
+    def __repr__(self) -> str:
+        return (f"DynamicEngine({self.prepared.name or self.graph!r}, "
+                f"version={self._version}, indexed={len(self._index)}, "
+                f"pending={self.pending_mutations})")
+
+
+__all__ = ["DynamicEngine", "UpdateReport", "UpdateStats"]

@@ -1,0 +1,89 @@
+"""Incrementally maintainable content fingerprints for mutable graphs.
+
+The engine's static :func:`repro.engine.fingerprint.graph_fingerprint` hashes
+a canonical serialisation of the whole graph — O(|V| + |E|) per call, which is
+exactly the cost a dynamic engine must not pay on every mutation.
+:class:`IncrementalFingerprint` instead keeps an *order-independent* digest
+that is homomorphic under set updates: each vertex label and each edge is
+hashed independently (128 bits each) and the per-element hashes are combined
+with XOR into two accumulators.  Adding or removing an element XORs its hash
+in or out — O(1) per mutation — and two graphs with the same labelled content
+always reach the same digest regardless of construction order or internal
+index layout.  A mutation sequence that restores the original content (e.g.
+remove an edge, add it back) restores the original digest, so cache entries
+re-addressed by fingerprint stay consistent across reverts.
+
+Labels are serialised with ``repr`` (as the static fingerprint does) and edge
+endpoint order is canonicalised, so ``(u, v)`` and ``(v, u)`` hash equally.
+Because the underlying graph is simple, every element is present 0 or 1
+times, which makes XOR an exact multiset digest here; accidental cancellation
+between *distinct* elements is a 2^-128 event, negligible for an in-process
+result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..graph.graph import Graph
+
+#: Hex digits kept in the digest, matching the static engine fingerprint.
+FINGERPRINT_LENGTH = 16
+
+#: Bytes per per-element hash / accumulator.
+_ACC_BYTES = 16
+
+
+def _element_hash(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest()[:_ACC_BYTES], "big")
+
+
+class IncrementalFingerprint:
+    """An XOR-of-hashes graph content digest with O(1) mutation cost."""
+
+    __slots__ = ("_vertex_acc", "_edge_acc")
+
+    def __init__(self) -> None:
+        self._vertex_acc = 0
+        self._edge_acc = 0
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "IncrementalFingerprint":
+        """Build the digest of a graph's current content (one full pass)."""
+        fingerprint = cls()
+        for label in graph.vertices():
+            fingerprint.toggle_vertex(label)
+        for u, v in graph.edges():
+            fingerprint.toggle_edge(u, v)
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    def toggle_vertex(self, label) -> None:
+        """XOR one vertex label in (when absent) or out (when present)."""
+        self._vertex_acc ^= _element_hash(b"v\x00" + repr(label).encode())
+
+    def toggle_edge(self, u, v) -> None:
+        """XOR one undirected edge in or out (endpoint order canonicalised)."""
+        a, b = sorted((repr(u), repr(v)))
+        self._edge_acc ^= _element_hash(f"e\x00{a}\x00{b}".encode())
+
+    # ------------------------------------------------------------------
+    def hexdigest(self, length: int = FINGERPRINT_LENGTH) -> str:
+        """The current content digest as a hex string."""
+        payload = (self._vertex_acc.to_bytes(_ACC_BYTES, "big")
+                   + self._edge_acc.to_bytes(_ACC_BYTES, "big"))
+        return hashlib.sha256(payload).hexdigest()[:length]
+
+    def copy(self) -> "IncrementalFingerprint":
+        clone = IncrementalFingerprint()
+        clone._vertex_acc = self._vertex_acc
+        clone._edge_acc = self._edge_acc
+        return clone
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, IncrementalFingerprint)
+                and self._vertex_acc == other._vertex_acc
+                and self._edge_acc == other._edge_acc)
+
+    def __repr__(self) -> str:
+        return f"IncrementalFingerprint({self.hexdigest()})"

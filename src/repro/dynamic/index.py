@@ -1,0 +1,121 @@
+"""Vertex → cached-entry inverted index for selective cache invalidation.
+
+A cached :class:`~repro.pipeline.results.EnumerationResult` concerns a
+*vertex region*: the union of the vertices of its maximal quasi-cliques and
+its MQCE-S1 candidates.  For γ >= 0.5 every quasi-clique has diameter at most
+2 (the paper's Property 2), which localises the effect of a mutation: any
+maximal quasi-clique that appears or disappears when an edge is touched lies
+entirely inside the 2-hop neighbourhood of the touched endpoints.  The
+:class:`CacheIndex` maps every vertex label to the cache entries whose region
+contains it, so the dynamic engine can find the entries a mutation *might*
+affect in time proportional to the touched neighbourhood — every other entry
+provably still holds the exact answer and survives (re-addressed to the new
+graph fingerprint).
+
+The index stores metadata only; result lists are shared by reference with the
+:class:`~repro.engine.cache.ResultCache` values, so memory overhead is one
+posting set per distinct vertex plus one small record per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..pipeline.results import EnumerationResult
+
+
+@dataclass(frozen=True)
+class EntryMeta:
+    """What selective invalidation needs to know about one cached entry.
+
+    ``gamma`` / ``theta`` are the entry's quasi-clique parameters (gamma as
+    the exact fraction used in the cache key), ``result_sets`` the maximal and
+    candidate vertex sets of the cached result (shared by reference), and
+    ``region`` their union.
+    """
+
+    gamma: object
+    theta: int
+    result_sets: tuple[frozenset, ...]
+    region: frozenset
+
+
+class CacheIndex:
+    """An inverted index from vertex labels to registered cache entries."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Hashable, EntryMeta] = {}
+        self._postings: dict[Hashable, set[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, key: Hashable, result: EnumerationResult,
+                 gamma, theta: int) -> EntryMeta:
+        """Index one cached entry (idempotent for an already-registered key)."""
+        existing = self._entries.get(key)
+        if existing is not None:
+            return existing
+        result_sets = tuple(result.maximal_quasi_cliques) + tuple(
+            result.candidate_quasi_cliques)
+        region = frozenset().union(*result_sets) if result_sets else frozenset()
+        meta = EntryMeta(gamma=gamma, theta=int(theta),
+                         result_sets=result_sets, region=region)
+        self._entries[key] = meta
+        for label in region:
+            self._postings.setdefault(label, set()).add(key)
+        return meta
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry and its postings; returns True when it was present."""
+        meta = self._entries.pop(key, None)
+        if meta is None:
+            return False
+        for label in meta.region:
+            postings = self._postings.get(label)
+            if postings is not None:
+                postings.discard(key)
+                if not postings:
+                    del self._postings[label]
+        return True
+
+    def rekey(self, old_key: Hashable, new_key: Hashable) -> bool:
+        """Re-address one entry (used when the graph fingerprint changes)."""
+        meta = self._entries.pop(old_key, None)
+        if meta is None:
+            return False
+        self._entries[new_key] = meta
+        for label in meta.region:
+            postings = self._postings[label]
+            postings.discard(old_key)
+            postings.add(new_key)
+        return True
+
+    # ------------------------------------------------------------------
+    def touching(self, labels: Iterable[Hashable]) -> set[Hashable]:
+        """Keys of every entry whose region intersects ``labels``."""
+        touched: set[Hashable] = set()
+        for label in labels:
+            touched |= self._postings.get(label, set())
+        return touched
+
+    def get(self, key: Hashable) -> EntryMeta | None:
+        return self._entries.get(key)
+
+    def items(self):
+        return self._entries.items()
+
+    def keys(self) -> list:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._postings.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return f"CacheIndex(entries={len(self)}, vertices={len(self._postings)})"

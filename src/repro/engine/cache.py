@@ -81,6 +81,10 @@ class ResultCache:
         return (fingerprint,) + spec.cache_key()
 
     # ------------------------------------------------------------------
+    def peek(self, key: Hashable) -> Any | None:
+        """Return the cached value without touching recency or the counters."""
+        return self._entries.get(key)
+
     def get(self, key: Hashable) -> Any | None:
         """Return the cached value (refreshing recency) or None, counting the lookup."""
         try:
@@ -101,6 +105,31 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def discard(self, key: Hashable) -> bool:
+        """Remove an entry without touching the hit/miss counters.
+
+        Used by selective invalidation (:class:`repro.dynamic.DynamicEngine`):
+        the entry is dropped because its graph changed, which is neither a
+        lookup nor a capacity eviction.  Returns True when the key existed.
+        """
+        return self._entries.pop(key, None) is not None
+
+    def rekey(self, old_key: Hashable, new_key: Hashable) -> bool:
+        """Move an entry to a new key, preserving its value and recency.
+
+        The dynamic engine re-addresses cache entries that *survive* a graph
+        mutation from the old content fingerprint to the new one, so warm hits
+        keep working without re-enumeration.  Returns True when the old key
+        existed (the value now lives under ``new_key``); an existing entry at
+        ``new_key`` is overwritten.
+        """
+        try:
+            value = self._entries.pop(old_key)
+        except KeyError:
+            return False
+        self._entries[new_key] = value
+        return True
 
     def __len__(self) -> int:
         return len(self._entries)

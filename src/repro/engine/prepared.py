@@ -16,9 +16,13 @@ Everything is computed lazily on first access; :meth:`PreparedGraph.prepare`
 forces all artifacts eagerly (and records how long each took) for callers that
 want the cost up front, e.g. at service start-up.
 
-A prepared graph assumes the underlying graph is *frozen*.  The graph class is
-append-only, so :meth:`check_unmodified` can detect mutation cheaply from the
-vertex/edge counts; the engine re-prepares automatically when it trips.
+A prepared graph assumes the underlying graph is *frozen*.  Every graph
+mutation bumps :attr:`repro.graph.Graph.version`, so :meth:`check_unmodified`
+detects mutation exactly — including add/remove pairs that restore the vertex
+and edge counts, which the historical count-based snapshot missed; the engine
+re-prepares automatically when it trips.  For graphs that are *expected* to
+change, :class:`repro.dynamic.DynamicPreparedGraph` patches these artifacts
+incrementally instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -55,7 +59,7 @@ class PreparedGraph:
     def __init__(self, graph: Graph, name: str | None = None) -> None:
         self.graph = graph
         self.name = name
-        self._snapshot = (graph.vertex_count, graph.edge_count)
+        self._snapshot = graph.version
         self._core_masks: dict[int, int] = {}
         self.preparation_seconds: dict[str, float] = {}
         #: Memoized QueryPlans, populated by QueryPlanner.plan (plans are
@@ -161,10 +165,12 @@ class PreparedGraph:
     def check_unmodified(self) -> bool:
         """Return True iff the underlying graph still matches the snapshot.
 
-        The graph class is append-only, so any mutation changes the vertex or
-        edge count and is caught here without rehashing the content.
+        Compares the graph's monotonically increasing mutation ``version``, so
+        *any* mutation since preparation is caught — even a mutation sequence
+        that restores the original vertex and edge counts (the stale-cache
+        hazard of the historical count-based snapshot).
         """
-        return (self.graph.vertex_count, self.graph.edge_count) == self._snapshot
+        return self.graph.version == self._snapshot
 
     # ------------------------------------------------------------------
     # Reporting

@@ -47,6 +47,11 @@ class ResultStream(Iterator[frozenset]):
         self._use_cache = use_cache
         self._inner: QuasiCliqueStream | None = None
         self._start = time.perf_counter()
+        # The graph version the cache key was derived from.  Caching on
+        # completion is gated on this exact version — not on the prepared
+        # graph's own snapshot, which a dynamic prepared graph legitimately
+        # advances while patching itself mid-stream.
+        self._graph_version = prepared.graph.version
 
         if spec.contains or spec.k is not None:
             # Top-k / containment constraints (regardless of count_only) have
@@ -141,7 +146,11 @@ class ResultStream(Iterator[frozenset]):
             yield clique
         self.truncated = inner.truncated
         self.finished = inner.finished
-        if (self.finished and self._use_cache and spec.cacheable):
+        # A consumer may mutate the graph between yields; a stream that ran
+        # across a mutation must not populate the cache under the pre-mutation
+        # fingerprint (its content reflects neither snapshot cleanly).
+        if (self.finished and self._use_cache and spec.cacheable
+                and self._prepared.graph.version == self._graph_version):
             result = EnumerationResult(
                 maximal_quasi_cliques=canonical_order(collected),
                 candidate_quasi_cliques=list(inner.candidates),

@@ -1,6 +1,7 @@
 """Graph substrate: data structure, I/O, decompositions, generators, statistics."""
 
 from .graph import Graph, GraphError, iter_bits, mask_to_set, set_to_mask
+from .delta import GraphDelta, GraphMutation
 from .io import read_edge_list, write_edge_list, read_quasi_cliques, write_quasi_cliques
 from .formats import (
     graph_from_json_dict,

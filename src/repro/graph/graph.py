@@ -11,9 +11,19 @@ two synchronized forms:
   ``(adjacency_masks[v] & candidate_mask).bit_count()`` counts neighbours of
   ``v`` inside an arbitrary vertex set in ``O(n / 64)``.
 
-The structure is append-only for vertices (vertices are never re-indexed), and
-edges can be added at any time.  All enumeration algorithms treat the graph as
-read-only.
+The graph is fully dynamic: vertices and edges can be added *and removed* at
+any time.  ``remove_vertex`` keeps the index space dense by swapping the
+last-indexed vertex into the freed slot (labels are stable, indices are not),
+so the bitmask invariants the enumeration algorithms rely on always hold.
+Every successful mutation bumps the monotonically increasing
+:attr:`Graph.version` counter; once a consumer has attached the
+:class:`~repro.graph.delta.GraphDelta` changelog (first access to
+:attr:`Graph.delta`), mutations are additionally recorded there — which is how
+:class:`repro.dynamic.DynamicEngine` maintains its memoized artifacts and
+result cache incrementally.  Unwatched graphs (including the many internal
+subgraphs the enumeration algorithms build and discard) pay only the integer
+increment.  Enumeration algorithms treat the graph as read-only while they
+run.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from collections.abc import Hashable, Iterable, Iterator
 from typing import Optional
 
 from ..errors import ReproError
+from .delta import DEFAULT_LOG_CAPACITY, GraphDelta
 
 VertexLabel = Hashable
 
@@ -34,12 +45,16 @@ class Graph:
     """An undirected, unweighted, simple graph with label <-> index mapping."""
 
     def __init__(self, edges: Optional[Iterable[tuple[VertexLabel, VertexLabel]]] = None,
-                 vertices: Optional[Iterable[VertexLabel]] = None) -> None:
+                 vertices: Optional[Iterable[VertexLabel]] = None,
+                 delta_capacity: int | None = DEFAULT_LOG_CAPACITY) -> None:
         self._labels: list[VertexLabel] = []
         self._index_of: dict[VertexLabel, int] = {}
         self._adjacency_sets: list[set[int]] = []
         self._adjacency_masks: list[int] = []
         self._edge_count = 0
+        self._version = 0
+        self._delta: Optional[GraphDelta] = None  # attached on first .delta access
+        self._delta_capacity = delta_capacity
         if vertices is not None:
             for label in vertices:
                 self.add_vertex(label)
@@ -60,6 +75,7 @@ class Graph:
         self._index_of[label] = index
         self._adjacency_sets.append(set())
         self._adjacency_masks.append(0)
+        self._record("add_vertex", label)
         return index
 
     def add_edge(self, u: VertexLabel, v: VertexLabel) -> None:
@@ -75,6 +91,86 @@ class Graph:
         self._adjacency_masks[i] |= 1 << j
         self._adjacency_masks[j] |= 1 << i
         self._edge_count += 1
+        self._record("add_edge", u, v)
+
+    def remove_edge(self, u: VertexLabel, v: VertexLabel) -> None:
+        """Remove the undirected edge ``(u, v)``; raises if it does not exist."""
+        i = self.index_of(u)
+        j = self.index_of(v)
+        if j not in self._adjacency_sets[i]:
+            raise GraphError(f"no edge between {u!r} and {v!r}")
+        self._adjacency_sets[i].discard(j)
+        self._adjacency_sets[j].discard(i)
+        self._adjacency_masks[i] &= ~(1 << j)
+        self._adjacency_masks[j] &= ~(1 << i)
+        self._edge_count -= 1
+        self._record("remove_edge", u, v)
+
+    def remove_vertex(self, label: VertexLabel) -> None:
+        """Remove a vertex and all its incident edges.
+
+        Indices stay dense: the vertex currently holding the highest index is
+        swapped into the freed slot, so *labels* are stable across removals
+        but *indices* (and therefore adjacency bitmask layouts) are not.  The
+        changelog records the incident ``remove_edge`` mutations followed by
+        one ``remove_vertex`` mutation.
+        """
+        index = self.index_of(label)
+        for neighbour in list(self._adjacency_sets[index]):
+            self.remove_edge(label, self._labels[neighbour])
+        # The vertex is isolated now; compact the index space by moving the
+        # last vertex into its slot (a no-op when it already is the last).
+        last = len(self._labels) - 1
+        if index != last:
+            moved = self._labels[last]
+            self._labels[index] = moved
+            self._index_of[moved] = index
+            self._adjacency_sets[index] = self._adjacency_sets[last]
+            self._adjacency_masks[index] = self._adjacency_masks[last]
+            for neighbour in self._adjacency_sets[index]:
+                self._adjacency_sets[neighbour].discard(last)
+                self._adjacency_sets[neighbour].add(index)
+                self._adjacency_masks[neighbour] = (
+                    (self._adjacency_masks[neighbour] & ~(1 << last)) | (1 << index))
+        self._labels.pop()
+        self._adjacency_sets.pop()
+        self._adjacency_masks.pop()
+        del self._index_of[label]
+        self._record("remove_vertex", label)
+
+    # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+    def _record(self, op: str, u: VertexLabel, v: VertexLabel | None = None) -> None:
+        """Bump the version and, when a changelog is attached, record the mutation."""
+        self._version += 1
+        if self._delta is not None:
+            self._delta.record(op, u, v)
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter (0 for a pristine graph).
+
+        Unlike the ``(vertex_count, edge_count)`` pair, the version changes on
+        *every* content mutation — an add/remove pair that restores the counts
+        still advances it — so snapshots keyed on the version can never serve
+        stale derived state.
+        """
+        return self._version
+
+    @property
+    def delta(self) -> GraphDelta:
+        """The bounded changelog of applied mutations (see :class:`GraphDelta`).
+
+        Attached lazily: the first access starts recording at the current
+        version, so consumers should snapshot :attr:`version` no earlier than
+        when they first touch this property.  ``since()`` reports versions
+        from before the attachment as a history gap (``None``).
+        """
+        if self._delta is None:
+            self._delta = GraphDelta(capacity=self._delta_capacity,
+                                     start_version=self._version)
+        return self._delta
 
     @classmethod
     def from_edges(cls, edges: Iterable[tuple[VertexLabel, VertexLabel]],

@@ -93,9 +93,15 @@ def is_connected(graph: Graph, labels: Iterable[VertexLabel] | None = None) -> b
     return seen == allowed
 
 
-def connected_components(graph: Graph) -> list[frozenset[VertexLabel]]:
-    """Return the connected components of the graph as label sets."""
-    remaining = graph.full_mask()
+def connected_components(graph: Graph,
+                         within_mask: int | None = None) -> list[frozenset[VertexLabel]]:
+    """Return the connected components of the graph as label sets.
+
+    With ``within_mask``, connectivity is computed inside the induced
+    subgraph ``G[within_mask]`` only — used by the dynamic prepared graph to
+    re-split a single touched component without scanning the whole graph.
+    """
+    remaining = graph.full_mask() if within_mask is None else within_mask
     masks = graph.adjacency_masks()
     components: list[frozenset[VertexLabel]] = []
     while remaining:

@@ -1,0 +1,121 @@
+"""Tests for the `repro dynamic` CLI sub-command group."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import read_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    lines = ["1 2", "1 3", "2 3", "2 4", "3 4", "1 4", "7 8", "8 9"]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def updates_file(tmp_path):
+    path = tmp_path / "updates.txt"
+    path.write_text("# break the clique's diagonal\nremove 1 4\nadd 9 10\n",
+                    encoding="utf-8")
+    return path
+
+
+class TestParser:
+    def test_dynamic_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic"])
+
+    def test_apply_requires_updates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic", "apply", "-i", "g.txt"])
+
+    def test_query_accepts_dataset(self):
+        args = build_parser().parse_args(["dynamic", "query", "-d", "ca-grqc"])
+        assert args.dataset == "ca-grqc"
+        assert args.algorithm == "auto"
+
+
+class TestDynamicApply:
+    def test_apply_reports_and_writes(self, graph_file, updates_file, tmp_path, capsys):
+        output = tmp_path / "updated.txt"
+        code = main(["dynamic", "apply", "-i", str(graph_file),
+                     "-u", str(updates_file), "-o", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 mutations applied" in out or "mutations applied" in out
+        updated = read_edge_list(output)
+        assert not updated.has_edge(1, 4)
+        assert updated.has_edge(9, 10)
+
+    def test_apply_json(self, graph_file, updates_file, capsys):
+        code = main(["dynamic", "apply", "-i", str(graph_file),
+                     "-u", str(updates_file), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["removed_edges"] == 1
+        assert payload["report"]["added_edges"] == 1
+        assert payload["graph"]["version"] > 0
+
+    def test_malformed_script_exits_2(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("frobnicate 1 2\n", encoding="utf-8")
+        code = main(["dynamic", "apply", "-i", str(graph_file), "-u", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDynamicQuery:
+    def test_query_before_and_after(self, graph_file, updates_file, capsys):
+        code = main(["dynamic", "query", "-i", str(graph_file),
+                     "-u", str(updates_file), "-g", "0.9", "-t", "3", "--before"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "before updates: 1 maximal" in out
+        assert "2 maximal" in out
+        assert "1 2 3" in out and "2 3 4" in out
+
+    def test_query_json_includes_report(self, graph_file, updates_file, capsys):
+        code = main(["dynamic", "query", "-i", str(graph_file),
+                     "-u", str(updates_file), "-g", "0.9", "-t", "3",
+                     "--before", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["before"]["maximal_count"] == 1
+        assert payload["result"]["maximal_count"] == 2
+        # remove 1 4 + add 9 10 = one removal, one implicit add_vertex(10),
+        # one addition: three low-level mutation records.
+        assert payload["report"]["mutations"] == 3
+        assert payload["report"]["added_vertices"] == 1
+        assert payload["engine"]["dynamic"]["updates"]["syncs"] >= 1
+
+    def test_query_without_updates(self, graph_file, capsys):
+        code = main(["dynamic", "query", "-i", str(graph_file), "-g", "0.9", "-t", "3"])
+        assert code == 0
+        assert "1 maximal" in capsys.readouterr().out
+
+    def test_query_dataset_defaults(self, capsys):
+        code = main(["dynamic", "query", "-d", "twitter"])
+        assert code == 0
+        assert "maximal" in capsys.readouterr().out
+
+
+class TestDynamicStats:
+    def test_stats_reports_patches(self, graph_file, updates_file, capsys):
+        code = main(["dynamic", "stats", "-i", str(graph_file), "-u", str(updates_file)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["prepared"]["patch_counts"]["remove_edge"] == 1
+        assert payload["prepared"]["version"] > 0
+        assert payload["dynamic"]["updates"]["mutations"] == 3
+
+    def test_stats_without_updates(self, graph_file, capsys):
+        code = main(["dynamic", "stats", "-i", str(graph_file)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["prepared"]["patch_counts"] == {}

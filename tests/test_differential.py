@@ -1,0 +1,86 @@
+"""Differential test harness: every execution path must produce identical answers.
+
+One parametrized suite cross-checks the brute-force reference against every
+MQCE-S1 algorithm (FastQC, DCFastQC, Quick+) and both engine delivery paths
+(``MQCEEngine.query`` and ``MQCEEngine.stream``) on a grid of seeded random
+graphs that varies the vertex count, the edge density, gamma and theta.  This
+replaces ad-hoc pairwise comparisons: any divergence between any two paths
+shows up as a failure against the same brute-force ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, MQCEEngine
+from repro.api import QuerySpec
+from repro.graph.generators import erdos_renyi_gnm, planted_quasi_clique_graph
+from repro.pipeline.mqce import canonical_order, run_enumeration
+from repro.quasiclique import enumerate_maximal_quasi_cliques_bruteforce
+
+#: (case id, graph builder, gamma, theta) — graphs stay <= 13 vertices so the
+#: brute-force oracle runs in milliseconds.
+CASES = [
+    ("sparse-n8", lambda: erdos_renyi_gnm(8, 10, seed=11), 0.6, 2),
+    ("sparse-n10", lambda: erdos_renyi_gnm(10, 14, seed=12), 0.7, 3),
+    ("medium-n10", lambda: erdos_renyi_gnm(10, 22, seed=13), 0.8, 3),
+    ("dense-n9", lambda: erdos_renyi_gnm(9, 28, seed=14), 0.9, 4),
+    ("dense-n12", lambda: erdos_renyi_gnm(12, 40, seed=15), 0.9, 4),
+    ("planted-n12", lambda: planted_quasi_clique_graph(12, 10, [5], 0.9, seed=16), 0.9, 4),
+    ("planted-n13", lambda: planted_quasi_clique_graph(13, 12, [5, 4], 0.85, seed=17), 0.8, 3),
+    ("half-gamma-n9", lambda: erdos_renyi_gnm(9, 16, seed=18), 0.5, 2),
+    ("full-gamma-n10", lambda: erdos_renyi_gnm(10, 24, seed=19), 1.0, 3),
+    ("tiny-theta1-n7", lambda: erdos_renyi_gnm(7, 8, seed=20), 0.75, 1),
+]
+
+#: Execution paths under test.  Each maps a (graph, gamma, theta) query to a
+#: canonically ordered list of maximal quasi-cliques.
+EXECUTORS = {
+    "fastqc": lambda graph, gamma, theta: run_enumeration(
+        graph, QuerySpec(gamma=gamma, theta=theta, algorithm="fastqc")
+    ).maximal_quasi_cliques,
+    "dcfastqc": lambda graph, gamma, theta: run_enumeration(
+        graph, QuerySpec(gamma=gamma, theta=theta, algorithm="dcfastqc")
+    ).maximal_quasi_cliques,
+    "quickplus": lambda graph, gamma, theta: run_enumeration(
+        graph, QuerySpec(gamma=gamma, theta=theta, algorithm="quickplus")
+    ).maximal_quasi_cliques,
+    "engine-query": lambda graph, gamma, theta: MQCEEngine().query(
+        graph, gamma, theta).maximal_quasi_cliques,
+    "engine-stream": lambda graph, gamma, theta: canonical_order(
+        list(MQCEEngine().stream(graph, gamma, theta))),
+}
+
+_ORACLE_CACHE: dict[str, tuple[Graph, list[frozenset]]] = {}
+
+
+def _case(case_id: str) -> tuple[Graph, float, int, list[frozenset]]:
+    """Build the case graph and its brute-force ground truth (memoized)."""
+    name, builder, gamma, theta = next(c for c in CASES if c[0] == case_id)
+    if name not in _ORACLE_CACHE:
+        graph = builder()
+        expected = canonical_order(
+            enumerate_maximal_quasi_cliques_bruteforce(graph, gamma, theta))
+        _ORACLE_CACHE[name] = (graph, expected)
+    graph, expected = _ORACLE_CACHE[name]
+    return graph, gamma, theta, expected
+
+
+@pytest.mark.parametrize("executor", sorted(EXECUTORS))
+@pytest.mark.parametrize("case_id", [case[0] for case in CASES])
+def test_execution_path_matches_bruteforce(case_id, executor):
+    graph, gamma, theta, expected = _case(case_id)
+    produced = EXECUTORS[executor](graph, gamma, theta)
+    assert canonical_order(produced) == expected, (
+        f"{executor} diverged from brute force on {case_id} "
+        f"(gamma={gamma}, theta={theta})")
+
+
+@pytest.mark.parametrize("case_id", [case[0] for case in CASES])
+def test_executors_agree_pairwise(case_id):
+    """Redundant guard: all paths produce the same *set* of answers."""
+    graph, gamma, theta, _ = _case(case_id)
+    answers = {name: frozenset(EXECUTORS[name](graph, gamma, theta))
+               for name in EXECUTORS}
+    reference = answers["dcfastqc"]
+    assert all(result == reference for result in answers.values()), answers
