@@ -40,8 +40,14 @@ from _bench_utils import attach_rows, run_once
 DATASETS = (("ca-grqc",) if os.environ.get("REPRO_BENCH_QUICK")
             else ("ca-grqc", "enron", "fullusa", "kmer", "uk2002"))
 
-#: Minimum speedup of incremental-update+requery over a cold rebuild.
-REQUIRED_SPEEDUP = 10.0
+#: Minimum speedup of incremental-update+requery over a cold rebuild.  The
+#: PR-4 ledger kernel cut cold enumeration itself by ~6x (see BENCH_core.json),
+#: which shrank this ratio's denominator from ~50 ms to ~8 ms on uk2002 — the
+#: warm path now competes against fixed per-query overheads, not enumeration
+#: cost — so the floor moved from 10x (measured 58x pre-kernel) to 4x
+#: (measured 6.5-10x post-kernel).  The functional canaries (selective
+#: invalidation, cache retention, warm hit) are asserted exactly either way.
+REQUIRED_SPEEDUP = 4.0
 
 
 def _pick_survivable_edge(graph, result):

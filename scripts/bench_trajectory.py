@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness: record the enumeration core's speed over time.
+
+Runs a fixed benchmark suite — cold DCFastQC enumeration (no result cache, no
+prepared-graph reuse) on registry dataset analogues at branch-heavy parameter
+points — under both execution kernels:
+
+* ``ledger`` — the incremental degree-ledger kernel over compact subproblem
+  index spaces (:mod:`repro.core.kernel`), the production default;
+* ``reference`` — the original mask/popcount implementation, kept as the
+  differential-testing oracle and as the perf baseline.
+
+Per dataset it records latency, branch counts and branches/sec, and writes
+the whole table to ``BENCH_core.json`` at the repository root.  Committing
+that file after a perf-relevant change gives the repo a recorded perf
+trajectory that later PRs can regress against.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py            # full suite
+    PYTHONPATH=src python scripts/bench_trajectory.py --quick    # CI smoke
+    PYTHONPATH=src python scripts/bench_trajectory.py --assert-speedup 3.0
+
+``--assert-speedup X`` exits non-zero unless at least ``--assert-count``
+datasets (default 2) beat the reference kernel by the given factor — the CI
+perf-smoke job runs ``--quick --assert-speedup 3.0`` so a kernel regression
+fails the PR.  ``REPRO_BENCH_QUICK=1`` implies ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.dcfastqc import DCFastQC                      # noqa: E402
+from repro.datasets import load_dataset                       # noqa: E402
+
+#: The fixed suite: (dataset, gamma, theta) chosen so enumeration — not
+#: preprocessing — dominates (hundreds to thousands of branches each).
+FULL_SUITE = (
+    ("ca-grqc", 0.9, 5),
+    ("enron", 0.85, 6),
+    ("pokec", 0.9, 6),
+    ("uk2002", 0.9, 7),
+    ("uk2002-heavy", 0.85, 8),
+)
+
+#: Quick (CI smoke) subset: the three rows with the largest speedup margins.
+QUICK_SUITE = (
+    ("enron", 0.85, 6),
+    ("pokec", 0.9, 6),
+    ("uk2002", 0.9, 7),
+)
+
+#: Benchmark rows may rename a dataset to carry distinct parameters.
+DATASET_ALIASES = {"uk2002-heavy": "uk2002"}
+
+
+def _run_kernel(graph, gamma: float, theta: int, kernel: str, repeat: int):
+    """Best-of-``repeat`` cold enumeration; returns (seconds, algo, results)."""
+    best = None
+    for _ in range(repeat):
+        algo = DCFastQC(graph, gamma, theta, kernel=kernel)
+        start = time.perf_counter()
+        results = algo.enumerate()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, algo, results)
+    return best
+
+
+def run_suite(suite, repeat: int = 1, verbose: bool = True) -> dict:
+    """Run every suite row under both kernels; returns the trajectory record."""
+    rows = {}
+    for name, gamma, theta in suite:
+        graph = load_dataset(DATASET_ALIASES.get(name, name))
+        ledger_s, ledger_algo, ledger_results = _run_kernel(
+            graph, gamma, theta, "ledger", repeat)
+        reference_s, reference_algo, reference_results = _run_kernel(
+            graph, gamma, theta, "reference", repeat)
+        if ledger_results != reference_results:
+            raise AssertionError(
+                f"{name}: kernel and reference outputs diverged "
+                f"({len(ledger_results)} vs {len(reference_results)} candidates)")
+        branches = ledger_algo.statistics.branches_explored
+        row = {
+            "gamma": gamma,
+            "theta": theta,
+            "vertices": graph.vertex_count,
+            "edges": graph.edge_count,
+            "candidates": len(ledger_results),
+            "branches": branches,
+            "ledger_ms": round(ledger_s * 1000, 3),
+            "reference_ms": round(reference_s * 1000, 3),
+            "branches_per_sec": round(branches / ledger_s) if ledger_s else 0,
+            "speedup": round(reference_s / ledger_s, 2) if ledger_s else float("inf"),
+            "ledger_moves": ledger_algo.statistics.ledger_moves,
+            "ledger_updates": ledger_algo.statistics.ledger_updates,
+        }
+        rows[name] = row
+        if verbose:
+            print(f"{name:14s} gamma={gamma} theta={theta}: "
+                  f"ledger {row['ledger_ms']:.1f} ms vs reference "
+                  f"{row['reference_ms']:.1f} ms -> {row['speedup']}x "
+                  f"({row['branches']} branches, "
+                  f"{row['branches_per_sec']} branches/s)")
+    speedups = [row["speedup"] for row in rows.values()]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= value
+    geomean **= 1 / len(speedups)
+    return {
+        "suite": "core-enumeration-v1",
+        "workload": "cold DCFastQC enumeration (no result cache)",
+        "kernels": ["ledger", "reference"],
+        "datasets": rows,
+        "summary": {
+            "geomean_speedup": round(geomean, 2),
+            "total_ledger_ms": round(sum(r["ledger_ms"] for r in rows.values()), 3),
+            "total_reference_ms": round(sum(r["reference_ms"] for r in rows.values()), 3),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run the CI smoke subset (also via REPRO_BENCH_QUICK=1)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repetitions per measurement (best-of, default 1)")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_core.json",
+                        help="where to write the trajectory record "
+                        "(default: BENCH_core.json at the repo root; '-' to skip)")
+    parser.add_argument("--assert-speedup", type=float, default=None, metavar="FLOOR",
+                        help="exit non-zero unless enough datasets beat the "
+                        "reference kernel by this factor")
+    parser.add_argument("--assert-count", type=int, default=2, metavar="N",
+                        help="how many datasets must meet the floor (default 2)")
+    args = parser.parse_args(argv)
+
+    quick = args.quick or bool(os.environ.get("REPRO_BENCH_QUICK"))
+    suite = QUICK_SUITE if quick else FULL_SUITE
+    record = run_suite(suite, repeat=args.repeat)
+    record["quick"] = quick
+    print(f"\ngeomean speedup: {record['summary']['geomean_speedup']}x over "
+          f"{len(record['datasets'])} datasets")
+
+    if str(args.output) != "-":
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if args.assert_speedup is not None:
+        passing = [name for name, row in record["datasets"].items()
+                   if row["speedup"] >= args.assert_speedup]
+        needed = min(args.assert_count, len(record["datasets"]))
+        if len(passing) < needed:
+            print(f"FAIL: only {len(passing)} datasets reached "
+                  f"{args.assert_speedup}x (need {needed}): {record['datasets']}",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: {len(passing)}/{len(record['datasets'])} datasets at "
+              f">= {args.assert_speedup}x ({', '.join(passing)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

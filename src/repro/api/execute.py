@@ -130,7 +130,8 @@ def containment_search(graph: Graph, spec: QuerySpec) -> EnumerationResult:
     found: list[frozenset] = []
     engine = None
     if region & query_mask == query_mask:
-        engine = FastQC(graph, spec.gamma, effective_theta, maximality_filter=False,
+        engine = FastQC(graph, spec.gamma, effective_theta, kernel=spec.kernel,
+                        maximality_filter=False,
                         should_stop=budget.expired if spec.time_limit is not None else None)
         branch = Branch(query_mask, region & ~query_mask, 0)
         found = [clique for clique in engine.enumerate_branch(branch)
@@ -198,7 +199,7 @@ def topk_search(graph: Graph, spec: QuerySpec, size_bound: int | None = None
     while True:
         enumerator = build_enumerator(
             graph, spec.gamma, threshold, algorithm=algorithm,
-            branching=spec.branching, framework=framework,
+            branching=spec.branching, framework=framework, kernel=spec.kernel,
             max_rounds=spec.max_rounds, maximality_filter=spec.maximality_filter,
             should_stop=should_stop)
         candidates = enumerator.enumerate()

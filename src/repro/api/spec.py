@@ -29,6 +29,7 @@ from typing import Any
 
 from ..core.branching import BRANCHING_METHODS
 from ..core.dcfastqc import DC_FRAMEWORKS, DEFAULT_MAX_ROUNDS
+from ..core.kernel import KERNELS
 from ..errors import SpecError
 from ..pipeline.mqce import ALGORITHMS
 from ..quasiclique.definitions import gamma_fraction, validate_parameters
@@ -54,6 +55,11 @@ class QuerySpec:
         Execution knobs.  ``algorithm="auto"`` (default) lets the engine's
         planner choose; ``branching=None`` / ``framework=None`` likewise defer
         to the algorithm's default.
+    kernel:
+        Enumeration kernel for the FastQC family: ``"ledger"`` (default,
+        incremental degree-ledger branch states over compact subproblem index
+        spaces) or ``"reference"`` (the original mask/popcount
+        implementation).  Both are exact and produce identical answers.
     k:
         When given, return only the ``k`` largest answers (ranked by size,
         ties broken by sorted labels).
@@ -84,6 +90,7 @@ class QuerySpec:
     algorithm: str = "auto"
     branching: str | None = None
     framework: str | None = None
+    kernel: str = "ledger"
     max_rounds: int = DEFAULT_MAX_ROUNDS
     maximality_filter: bool = True
     k: int | None = None
@@ -105,6 +112,9 @@ class QuerySpec:
         if self.framework is not None and self.framework not in DC_FRAMEWORKS:
             raise SpecError(f"unknown framework {self.framework!r}; "
                             f"expected one of {DC_FRAMEWORKS}")
+        if self.kernel not in KERNELS:
+            raise SpecError(f"unknown kernel {self.kernel!r}; "
+                            f"expected one of {KERNELS}")
         if self.max_rounds < 0:
             raise SpecError("max_rounds must be non-negative")
         if self.k is not None and self.k < 1:
@@ -153,7 +163,7 @@ class QuerySpec:
         ``0.9`` and ``Fraction(9, 10)`` address the same entry.
         """
         return ("spec", gamma_fraction(self.gamma), int(self.theta),
-                self.algorithm, self.branching, self.framework,
+                self.algorithm, self.branching, self.framework, self.kernel,
                 int(self.max_rounds), bool(self.maximality_filter),
                 self.k, self.contains, bool(self.require_maximal))
 

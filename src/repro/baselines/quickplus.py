@@ -14,7 +14,6 @@ contribution of the branching part.
 
 from __future__ import annotations
 
-import sys
 from collections.abc import Callable, Iterable
 
 from ..graph.graph import Graph, VertexLabel, iter_bits
@@ -22,6 +21,7 @@ from ..quasiclique.definitions import mask_is_quasi_clique, validate_parameters
 from ..core.branch import Branch
 from ..core.branching import BRANCHING_METHODS, generate_branches, select_pivot
 from ..core.conditions import tau_sigma
+from ..core.kernel import depth_first_enumerate
 from ..core.stats import SearchStatistics
 from .pruning_rules import (
     PruningConfig,
@@ -80,32 +80,29 @@ class QuickPlus:
     def enumerate_branch(self, branch: Branch) -> list[frozenset]:
         """Run Quick+ starting from a prepared bitmask branch."""
         self.statistics.subproblems += 1
-        self.statistics.subproblem_sizes.append(branch.union_size)
-        depth_needed = branch.union_size + 100
-        previous_limit = sys.getrecursionlimit()
-        if previous_limit < depth_needed + 1000:
-            sys.setrecursionlimit(depth_needed + 1000)
-        try:
-            start = len(self._results)
-            self._recurse(branch)
-            return self._results[start:]
-        finally:
-            sys.setrecursionlimit(previous_limit)
+        self.statistics.subproblem_sizes.record(branch.union_size)
+        start = len(self._results)
+        depth_first_enumerate(branch, self._expand, self._close,
+                              should_stop=self._poll_stop)
+        return self._results[start:]
 
     @property
     def results(self) -> list[frozenset]:
         return list(self._results)
 
     # ------------------------------------------------------------------
-    # Recursive core (Algorithm 1)
+    # Search core (Algorithm 1 on an explicit work stack)
     # ------------------------------------------------------------------
-    def _recurse(self, branch: Branch) -> bool:
-        """Return True iff a QC was output in this branch or any sub-branch."""
+    def _poll_stop(self) -> bool:
+        """Cooperative cancellation: claims a QC was found so no ancestor
+        emits its partial set G[S] while the work stack unwinds."""
         if self.stopped or (self.should_stop is not None and self.should_stop()):
-            # Cooperative cancellation: pretend a QC was found so no ancestor
-            # emits its partial set G[S] while the recursion unwinds.
             self.stopped = True
             return True
+        return False
+
+    def _expand(self, branch: Branch):
+        """One branch visit: termination, critical-vertex rule, pruned children."""
         self.statistics.branches_explored += 1
 
         # Termination: no candidates left (lines 3-6).
@@ -122,10 +119,8 @@ class QuickPlus:
             if forced:
                 branch = branch.include(forced)
 
-        children = self._create_children(branch)
-
-        found_any = False
-        for child in children:
+        children = []
+        for child in self._create_children(branch):
             # Pruning before the next recursion (lines 9-10).
             pruned_c = apply_type1_rules(self.graph, child, self.gamma, self.theta, self.pruning)
             self.statistics.candidates_removed_by_type1 += (child.c_mask ^ pruned_c).bit_count()
@@ -133,14 +128,15 @@ class QuickPlus:
             if triggers_type2_rules(self.graph, child, self.gamma, self.theta, self.pruning):
                 self.statistics.branches_pruned_by_type2 += 1
                 continue
-            if self._recurse(child):
-                found_any = True
+            children.append(child)
+        return children, branch.s_mask
 
-        # Additional step (lines 12-14): output G[S] if no sub-branch found a QC.
+    def _close(self, s_mask: int, found_any: bool) -> bool:
+        """Additional step (lines 12-14): output G[S] if no sub-branch found a QC."""
         if found_any:
             return True
-        if branch.s_mask and mask_is_quasi_clique(self.graph, branch.s_mask, self.gamma):
-            self._emit(branch.s_mask)
+        if s_mask and mask_is_quasi_clique(self.graph, s_mask, self.gamma):
+            self._emit(s_mask)
             return True
         return False
 

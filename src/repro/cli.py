@@ -45,6 +45,7 @@ from pathlib import Path
 from .api import QuerySpec
 from .api.execute import containment_search, topk_search
 from .core.dcfastqc import DC_FRAMEWORKS
+from .core.kernel import KERNELS
 from .datasets.registry import REGISTRY, get_spec, load_dataset, load_prepared
 from .dynamic import DynamicEngine, read_update_script
 from .engine import MQCEEngine, QueryRequest, prepare_graph
@@ -226,6 +227,8 @@ def _build_query_spec(args: argparse.Namespace) -> QuerySpec:
         fields["branching"] = args.branching
     if args.framework is not None:
         fields["framework"] = args.framework
+    if getattr(args, "kernel", None) is not None:
+        fields["kernel"] = args.kernel
     if args.max_rounds is not None:
         fields["max_rounds"] = args.max_rounds
     if args.containing:
@@ -520,6 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="force the branching rule")
     query_parser.add_argument("--framework", choices=DC_FRAMEWORKS,
                               help="force the divide-and-conquer framework")
+    query_parser.add_argument("--kernel", choices=KERNELS,
+                              help="enumeration kernel: incremental degree ledgers "
+                              "(default) or the mask-based reference")
     query_parser.add_argument("--max-rounds", type=int, help="subproblem shrinking rounds")
     query_parser.add_argument("--containing", nargs="+", metavar="VERTEX",
                               help="only quasi-cliques containing these vertices")

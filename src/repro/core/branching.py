@@ -75,6 +75,22 @@ def select_pivot(graph: Graph, branch: Branch, tau_value: int) -> PivotInfo | No
     )
 
 
+def pivot_ordering_masks(adjacency: int, c_mask: int, pivot: PivotInfo) -> list[int]:
+    """Candidate ordering from the pivot's adjacency and candidate bitmasks.
+
+    The single source of the ordering rule, shared by the mask-based
+    :func:`pivot_ordering` and the ledger kernel's
+    :func:`repro.core.kernel.pivot_ordering_state` — the two paths must order
+    identically for branch-for-branch parity.
+    """
+    non_neighbours = list(iter_bits(c_mask & ~adjacency))
+    neighbours = list(iter_bits(c_mask & adjacency))
+    if pivot.in_partial:
+        return non_neighbours + neighbours
+    front = [pivot.vertex] + [v for v in non_neighbours if v != pivot.vertex]
+    return front + neighbours
+
+
 def pivot_ordering(graph: Graph, branch: Branch, pivot: PivotInfo) -> list[int]:
     """Return the candidate ordering induced by the pivot (Equations 15 and 16).
 
@@ -83,13 +99,8 @@ def pivot_ordering(graph: Graph, branch: Branch, pivot: PivotInfo) -> list[int]:
     first, then its other non-neighbours within ``C``, then its neighbours.
     Ties inside each block are broken by vertex index for determinism.
     """
-    adjacency = graph.adjacency_mask(pivot.vertex)
-    non_neighbours = list(iter_bits(branch.c_mask & ~adjacency))
-    neighbours = list(iter_bits(branch.c_mask & adjacency))
-    if pivot.in_partial:
-        return non_neighbours + neighbours
-    front = [pivot.vertex] + [v for v in non_neighbours if v != pivot.vertex]
-    return front + neighbours
+    return pivot_ordering_masks(graph.adjacency_mask(pivot.vertex),
+                                branch.c_mask, pivot)
 
 
 def se_branches(branch: Branch, ordering: list[int], keep: int | None = None) -> list[Branch]:

@@ -23,14 +23,16 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..graph.graph import Graph, VertexLabel, iter_bits
 from ..graph.core_decomposition import degeneracy_ordering, k_core_vertices
-from ..graph.subgraph import two_hop_mask
+from ..graph.subgraph import compact_subgraph, two_hop_mask
 from ..quasiclique.definitions import degree_threshold, tau, validate_parameters
 from .branch import Branch
 from .branching import BRANCHING_METHODS
 from .fastqc import FastQC
+from .kernel import KERNELS
 from .stats import SearchStatistics
 
 #: Supported divide-and-conquer frameworks (Figure 12 ablation).
@@ -47,6 +49,37 @@ class SubproblemRecord:
     root: VertexLabel
     initial_size: int
     refined_size: int
+
+
+@dataclass(frozen=True)
+class CompactSubproblem:
+    """One divide-and-conquer subproblem remapped to a dense local index space.
+
+    ``labels[i]`` is the original label of local index ``i`` and
+    ``adjacency_masks[i]`` its neighbour bitmask *within the subproblem*, so
+    bitmask and ledger widths track ``len(labels)`` instead of the input
+    graph's vertex count.  The payload is a plain tuple-of-ints structure on
+    purpose: :class:`repro.extensions.parallel.ParallelDCFastQC` pickles it to
+    worker processes verbatim.
+    """
+
+    root_local: int                 # local index of the subproblem root v_i
+    labels: tuple                   # local index -> original label
+    adjacency_masks: tuple[int, ...]
+
+    def build_graph(self) -> Graph:
+        """Materialise the subproblem graph (labels preserved)."""
+        return Graph.from_dense_adjacency(self.labels, self.adjacency_masks)
+
+    def initial_branch(self) -> Branch:
+        """The branch ``(S = {root}, C = rest, D = ∅)`` in local index space.
+
+        The globally-excluded prior vertices of Equation 19 simply do not
+        exist in the compact graph, so D starts empty.
+        """
+        root_bit = 1 << self.root_local
+        full = (1 << len(self.labels)) - 1
+        return Branch(root_bit, full & ~root_bit, 0)
 
 
 @dataclass
@@ -66,6 +99,7 @@ class DCStatistics:
         return average / total
 
 
+@lru_cache(maxsize=4096)
 def two_hop_pruning_threshold(gamma: float, theta: int, max_size: int) -> int:
     """Return the common-neighbour threshold ``f`` used by the two-hop pruning rule.
 
@@ -75,6 +109,8 @@ def two_hop_pruning_threshold(gamma: float, theta: int, max_size: int) -> int:
     ``theta <= h <= max_size`` matters, the provably safe threshold is the
     minimum of ``h - 2 * tau(h)`` over that range (which coincides with the
     paper's closed form ``theta - tau(theta) - tau(theta + 1)`` in practice).
+    Memoized: the shrinking loop re-evaluates it for every subproblem and
+    round, over a small set of distinct ``max_size`` values.
     """
     if max_size < theta:
         return 0
@@ -97,11 +133,18 @@ class DCFastQC:
         ``"dc"`` (paper's framework: degeneracy ordering, one-hop + two-hop
         shrinking), ``"basic-dc"`` (BDCFastQC: degree ordering, one-hop
         shrinking only) or ``"none"`` (run FastQC on the whole graph).
+    kernel:
+        ``"ledger"`` (default) — each subproblem is remapped to a compact
+        dense index space and enumerated with the incremental degree-ledger
+        kernel, so bitmask and ledger widths track the subproblem size, not
+        the graph.  ``"reference"`` — the original path: one shared FastQC
+        engine branching over full-graph-width masks.
     max_rounds:
         Number of shrinking rounds applied to each subproblem (MAX_ROUND).
     maximality_filter:
         Forwarded to FastQC; filters outputs by the necessary condition of
-        maximality.
+        maximality (always checked against the *full* input graph, also when
+        subproblems run on compact graphs).
     should_stop:
         Optional zero-argument predicate polled before every subproblem and at
         every FastQC branch; returning True stops the enumeration
@@ -110,6 +153,7 @@ class DCFastQC:
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
                  branching: str = "hybrid", framework: str = "dc",
+                 kernel: str = "ledger",
                  max_rounds: int = DEFAULT_MAX_ROUNDS,
                  maximality_filter: bool = True,
                  on_output: Callable[[frozenset], None] | None = None,
@@ -119,6 +163,8 @@ class DCFastQC:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
         if framework not in DC_FRAMEWORKS:
             raise ValueError(f"framework must be one of {DC_FRAMEWORKS}, got {framework!r}")
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         if max_rounds < 0:
             raise ValueError("max_rounds must be non-negative")
         self.graph = graph
@@ -126,6 +172,7 @@ class DCFastQC:
         self.theta = theta
         self.branching = branching
         self.framework = framework
+        self.kernel = kernel
         self.max_rounds = max_rounds
         self.maximality_filter = maximality_filter
         self.on_output = on_output
@@ -159,16 +206,97 @@ class DCFastQC:
         With ``framework="none"`` there is a single batch (the whole FastQC
         run), and no incremental guarantee beyond completeness.
         """
-        engine = FastQC(self.graph, self.gamma, self.theta, branching=self.branching,
-                        maximality_filter=self.maximality_filter,
-                        on_output=self.on_output, should_stop=self.should_stop)
-        self.statistics = engine.statistics
         if self.framework == "none":
+            engine = FastQC(self.graph, self.gamma, self.theta,
+                            branching=self.branching, kernel=self.kernel,
+                            maximality_filter=self.maximality_filter,
+                            on_output=self.on_output, should_stop=self.should_stop)
+            self.statistics = engine.statistics
             batch = engine.enumerate()
             self.stopped = engine.stopped
             yield batch
             return
 
+        if self.kernel == "ledger":
+            yield from self._iter_batches_compact()
+            return
+
+        # Reference path: one shared engine branching over global-width masks.
+        engine = FastQC(self.graph, self.gamma, self.theta, branching=self.branching,
+                        kernel=self.kernel, maximality_filter=self.maximality_filter,
+                        on_output=self.on_output, should_stop=self.should_stop)
+        self.statistics = engine.statistics
+        for root_index, refined_mask, prior_mask in self._iter_subproblems():
+            if self.stopped:
+                return
+            branch = Branch(
+                1 << root_index,
+                refined_mask & ~(1 << root_index),
+                prior_mask & ~(1 << root_index),
+            )
+            batch = engine.enumerate_branch(branch)
+            self.stopped = engine.stopped
+            yield batch
+            if self.stopped:
+                return
+
+    def _iter_batches_compact(self) -> Iterator[list[frozenset]]:
+        """Kernelized batches: each subproblem runs on its own compact graph.
+
+        The per-subproblem FastQC engines carry ledgers and bitmasks whose
+        width is the subproblem size; the maximality filter still checks
+        extensions against the full input graph, so the emitted candidate
+        sets are identical to the reference path's.  Statistics from every
+        subproblem engine are merged into :attr:`statistics`.
+        """
+        self.statistics = SearchStatistics()
+        for root_index, refined_mask, _prior_mask in self._iter_subproblems():
+            if self.stopped:
+                return
+            subgraph = compact_subgraph(self.graph, refined_mask)
+            root_local = (refined_mask & ((1 << root_index) - 1)).bit_count()
+            engine = FastQC(subgraph, self.gamma, self.theta,
+                            branching=self.branching, kernel="ledger",
+                            maximality_filter=self.maximality_filter,
+                            maximality_graph=self.graph,
+                            on_output=self.on_output, should_stop=self.should_stop)
+            root_bit = 1 << root_local
+            branch = Branch(root_bit, subgraph.full_mask() & ~root_bit, 0)
+            batch = engine.enumerate_branch(branch)
+            self.statistics.merge(engine.statistics)
+            self.stopped = engine.stopped
+            yield batch
+            if self.stopped:
+                return
+
+    def iter_compact_subproblems(self) -> Iterator[CompactSubproblem]:
+        """Yield every non-trivial subproblem as a picklable compact payload.
+
+        This is the fan-out surface of
+        :class:`repro.extensions.parallel.ParallelDCFastQC`: the parent
+        process runs the cheap global preprocessing (core reduction, ordering,
+        two-hop shrinking) and ships each subproblem as dense local-index
+        adjacency — worker enumeration cost then scales with the subproblem,
+        not the graph.
+        """
+        for root_index, refined_mask, _prior_mask in self._iter_subproblems():
+            if self.stopped:
+                return
+            subgraph = compact_subgraph(self.graph, refined_mask)
+            root_local = (refined_mask & ((1 << root_index) - 1)).bit_count()
+            yield CompactSubproblem(
+                root_local=root_local,
+                labels=tuple(subgraph.vertices()),
+                adjacency_masks=tuple(subgraph.adjacency_masks()),
+            )
+
+    def _iter_subproblems(self) -> Iterator[tuple[int, int, int]]:
+        """Lines 2-6 of Algorithm 3: yield ``(root_index, refined_mask, prior_mask)``.
+
+        Trivial subproblems (refined size below theta, or the root pruned by
+        its own shrinking) are recorded in the DC statistics but not yielded.
+        Sets :attr:`stopped` when ``should_stop`` fires between subproblems.
+        """
         core_mask = self._core_reduction_mask()
         ordering = self._vertex_ordering(core_mask)
         prior_mask = 0
@@ -187,16 +315,7 @@ class DCFastQC:
             prior_mask |= 1 << root_index
             if refined_mask.bit_count() < self.theta or not (refined_mask >> root_index) & 1:
                 continue
-            branch = Branch(
-                1 << root_index,
-                refined_mask & ~(1 << root_index),
-                prior_mask & ~(1 << root_index),
-            )
-            batch = engine.enumerate_branch(branch)
-            self.stopped = engine.stopped
-            yield batch
-            if self.stopped:
-                return
+            yield root_index, refined_mask, prior_mask
 
     # ------------------------------------------------------------------
     # Divide-and-conquer internals
@@ -263,7 +382,8 @@ class DCFastQC:
 
 def dcfastqc_enumerate(graph: Graph, gamma: float, theta: int,
                        branching: str = "hybrid", framework: str = "dc",
+                       kernel: str = "ledger",
                        max_rounds: int = DEFAULT_MAX_ROUNDS) -> list[frozenset]:
     """Functional convenience wrapper around :class:`DCFastQC`."""
     return DCFastQC(graph, gamma, theta, branching=branching, framework=framework,
-                    max_rounds=max_rounds).enumerate()
+                    kernel=kernel, max_rounds=max_rounds).enumerate()

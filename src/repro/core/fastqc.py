@@ -11,22 +11,48 @@ gamma-quasi-clique of size at least theta.  Compared with Quick+ it
    (Sections 4.3–4.4), which yields the ``O(n * d * alpha_k^n)`` bound of
    Theorem 1.
 
-The implementation works on bitmask branches over the input graph and never
-materialises subgraphs, so the same engine serves both the standalone FastQC
-entry point and the DCFastQC divide-and-conquer driver (which seeds it with a
-restricted branch per subproblem).
+Two interchangeable execution kernels drive the search (``kernel=``):
+
+* ``"ledger"`` (default) — the incremental :mod:`repro.core.kernel`
+  branch-state kernel: per-vertex degree ledgers updated in O(deg) per vertex
+  move turn every per-branch quantity into an O(|S|) / O(|C|) array scan.
+* ``"reference"`` — the original mask-based functions
+  (:mod:`repro.core.refinement`, :mod:`repro.core.branching`), which recompute
+  each quantity with per-vertex popcounts.  Kept as the differential-testing
+  oracle; both kernels visit the same branch tree and emit the same outputs
+  in the same order.
+
+Either way the search runs on an explicit work stack
+(:func:`repro.core.kernel.depth_first_enumerate`), so deep branch trees no
+longer consume Python stack frames and no recursion-limit manipulation is
+needed.  The engine works on branches over the input graph and never
+materialises subgraphs itself, so it serves both the standalone FastQC entry
+point and the DCFastQC divide-and-conquer driver (which seeds it with one
+compact subproblem graph per subproblem).
 """
 
 from __future__ import annotations
 
-import sys
 from collections.abc import Callable, Iterable
 
 from ..graph.graph import Graph, VertexLabel, iter_bits
 from ..quasiclique.definitions import validate_parameters
-from ..quasiclique.maximality import satisfies_maximality_necessary_condition
+from ..quasiclique.maximality import (
+    mask_satisfies_maximality_necessary_condition,
+    satisfies_maximality_necessary_condition,
+)
 from .branch import Branch, max_disconnections_in_union
 from .branching import BRANCHING_METHODS, generate_branches, select_pivot
+from .kernel import (
+    KERNELS,
+    BranchState,
+    depth_first_enumerate,
+    generate_child_states,
+    pivot_from_state,
+    refine_state,
+    terminates_by_theta_state,
+    union_min_degree,
+)
 from .refinement import progressively_refine
 from .stats import SearchStatistics
 
@@ -45,10 +71,19 @@ class FastQC:
     branching:
         ``"hybrid"`` (paper default: Hybrid-SE when applicable, Sym-SE
         otherwise), ``"sym-se"`` or ``"se"``.
+    kernel:
+        ``"ledger"`` (default: incremental degree-ledger kernel) or
+        ``"reference"`` (original mask/popcount implementation).  Both visit
+        the same branch tree and produce identical outputs.
     maximality_filter:
         When True (default), outputs must pass the polynomial necessary
         condition of maximality, which discards many non-maximal QCs without
         ever discarding a maximal one.
+    maximality_graph:
+        The graph the maximality filter checks extensions against; defaults
+        to ``graph``.  The DC driver passes the *full* graph here while
+        enumerating a compact subproblem graph, so suppression decisions are
+        identical to a whole-graph run.
     on_output:
         Optional callback invoked with each output vertex set (as a frozenset
         of labels) as it is found.
@@ -60,17 +95,23 @@ class FastQC:
     """
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
-                 branching: str = "hybrid", maximality_filter: bool = True,
+                 branching: str = "hybrid", kernel: str = "ledger",
+                 maximality_filter: bool = True,
+                 maximality_graph: Graph | None = None,
                  on_output: Callable[[frozenset], None] | None = None,
                  should_stop: Callable[[], bool] | None = None) -> None:
         validate_parameters(gamma, theta)
         if branching not in BRANCHING_METHODS:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         self.graph = graph
         self.gamma = gamma
         self.theta = theta
         self.branching = branching
+        self.kernel = kernel
         self.maximality_filter = maximality_filter
+        self.maximality_graph = maximality_graph if maximality_graph is not None else graph
         self.on_output = on_output
         self.should_stop = should_stop
         self.stopped = False
@@ -104,17 +145,16 @@ class FastQC:
     def enumerate_branch(self, branch: Branch) -> list[frozenset]:
         """Run FastQC starting from a prepared bitmask branch."""
         self.statistics.subproblems += 1
-        self.statistics.subproblem_sizes.append(branch.union_size)
-        depth_needed = branch.union_size + 100
-        previous_limit = sys.getrecursionlimit()
-        if previous_limit < depth_needed + 1000:
-            sys.setrecursionlimit(depth_needed + 1000)
-        try:
-            start = len(self._results)
-            self._recurse(branch)
-            return self._results[start:]
-        finally:
-            sys.setrecursionlimit(previous_limit)
+        self.statistics.subproblem_sizes.record(branch.union_size)
+        start = len(self._results)
+        if self.kernel == "ledger":
+            root = BranchState.from_branch(self.graph, branch, self.statistics)
+            depth_first_enumerate(root, self._expand_ledger, self._close,
+                                  should_stop=self._poll_stop)
+        else:
+            depth_first_enumerate(branch, self._expand_reference, self._close,
+                                  should_stop=self._poll_stop)
+        return self._results[start:]
 
     @property
     def results(self) -> list[frozenset]:
@@ -122,19 +162,54 @@ class FastQC:
         return list(self._results)
 
     # ------------------------------------------------------------------
-    # Recursive core (Algorithm 2)
+    # Search core (Algorithm 2 on an explicit work stack)
     # ------------------------------------------------------------------
-    def _recurse(self, branch: Branch) -> bool:
-        """Return True iff a QC was output in this branch or any sub-branch."""
+    def _poll_stop(self) -> bool:
+        """Cooperative cancellation: once stopped, every visit short-circuits."""
         if self.stopped or (self.should_stop is not None and self.should_stop()):
-            # Cooperative cancellation: claim a QC was found so that no
-            # ancestor branch emits its partial set G[S] during the unwind
-            # (such fallback outputs are only meaningful for complete searches).
             self.stopped = True
             return True
+        return False
+
+    def _expand_ledger(self, state: BranchState):
+        """One branch visit under the incremental degree-ledger kernel."""
         self.statistics.branches_explored += 1
 
         # Lines 3-7: progressive refinement and necessary-condition checking.
+        pruned, tau_value, _rounds, removed1, removed2 = refine_state(
+            state, self.gamma, self.theta)
+        self.statistics.candidates_removed_by_refinement += removed1 + removed2
+        if pruned:
+            self.statistics.branches_pruned_by_condition += 1
+            return False
+
+        # Lines 8-10: termination T1 -- the whole branch is a quasi-clique.
+        union_size = state.s_size + state.c_size
+        min_deg_union, pivot_vertex = union_min_degree(state)
+        if union_size - min_deg_union <= tau_value:
+            self.statistics.branches_terminated_t1 += 1
+            if union_size:
+                return self._emit(state.union_mask)
+            return False
+
+        # Line 11: termination T2 -- the size threshold cannot be met.
+        if terminates_by_theta_state(state, self.theta, tau_value):
+            self.statistics.branches_terminated_t2 += 1
+            return False
+
+        # Lines 12-18: pivot selection and branching.  The union scan above
+        # already found the pivot (the first vertex with the most
+        # disconnections, which exceeds the budget because T1 failed).
+        pivot = pivot_from_state(state, pivot_vertex, tau_value)
+        children = generate_child_states(state, pivot, self.branching)
+
+        # Lines 19-25 run in _close once every child subtree has completed.
+        return children, state.s_mask
+
+    def _expand_reference(self, branch: Branch):
+        """One branch visit under the original mask/popcount implementation."""
+        self.statistics.branches_explored += 1
+
         outcome = progressively_refine(self.graph, branch, self.gamma, self.theta)
         self.statistics.candidates_removed_by_refinement += (
             outcome.removed_by_rule1 + outcome.removed_by_rule2)
@@ -144,40 +219,35 @@ class FastQC:
         branch = outcome.branch
         tau_value = outcome.tau_value
 
-        # Lines 8-10: termination T1 -- the whole branch is a quasi-clique.
         if max_disconnections_in_union(self.graph, branch) <= tau_value:
             self.statistics.branches_terminated_t1 += 1
             if branch.union_mask:
                 return self._emit(branch.union_mask)
             return False
 
-        # Line 11: termination T2 -- the size threshold cannot be met.
         if self._terminates_by_theta(branch, tau_value):
             self.statistics.branches_terminated_t2 += 1
             return False
 
-        # Lines 12-18: pivot selection and branching.
         pivot = select_pivot(self.graph, branch, tau_value)
         if pivot is None:  # pragma: no cover - excluded by the T1 check above
             return self._emit(branch.union_mask)
         children = generate_branches(self.graph, branch, pivot, self.branching)
+        return children, branch.s_mask
 
-        # Lines 19-25: recurse, and output G[S] when no sub-branch found a QC.
-        found_any = False
-        for child in children:
-            if self._recurse(child):
-                found_any = True
+    def _close(self, s_mask: int, found_any: bool) -> bool:
+        """Lines 19-25: output G[S] when no sub-branch found a QC."""
         if found_any:
             return True
-        if branch.s_mask and self._is_quasi_clique_mask(branch.s_mask):
-            return self._emit(branch.s_mask)
+        if s_mask and self._is_quasi_clique_mask(s_mask):
+            return self._emit(s_mask)
         return False
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
     def _terminates_by_theta(self, branch: Branch, tau_value: int) -> bool:
-        """Termination condition T2 (Section 4.5)."""
+        """Termination condition T2 (Section 4.5), mask/popcount form."""
         if branch.union_size < self.theta:
             return True
         required = self.theta - tau_value
@@ -196,31 +266,48 @@ class FastQC:
         return mask_is_quasi_clique(self.graph, subset_mask, self.gamma)
 
     def _emit(self, subset_mask: int) -> bool:
-        """Record an output set; returns True iff a QC was actually reported.
+        """Record an output set; returns True iff the branch holds a QC.
 
         Following Algorithm 2 the return value of the *branch* is True whenever
         the branch holds a QC, even when the output itself is suppressed by the
         size threshold or the maximality necessary condition (the suppressed
         set still proves that every subset-branch output would be non-maximal).
+        The size and dedup checks run first so that repeat emissions of the
+        same mask never pay for label materialisation or a maximality check;
+        suppressed masks are remembered the same way.
         """
+        if subset_mask.bit_count() < self.theta:
+            return True
+        if subset_mask in self._seen_masks:
+            return True
+        self._seen_masks.add(subset_mask)
         labels = self.graph.labels_of_mask(subset_mask)
-        size_ok = subset_mask.bit_count() >= self.theta
-        if size_ok and self.maximality_filter:
-            if not satisfies_maximality_necessary_condition(self.graph, labels, self.gamma):
-                self.statistics.outputs_suppressed_by_maximality += 1
-                return True
-        if size_ok and subset_mask not in self._seen_masks:
-            self._seen_masks.add(subset_mask)
-            self._results.append(labels)
-            self.statistics.outputs += 1
-            if self.on_output is not None:
-                self.on_output(labels)
+        if self.maximality_filter and not self._passes_maximality(subset_mask, labels):
+            self.statistics.outputs_suppressed_by_maximality += 1
+            return True
+        self._results.append(labels)
+        self.statistics.outputs += 1
+        if self.on_output is not None:
+            self.on_output(labels)
         return True
+
+    def _passes_maximality(self, subset_mask: int, labels: frozenset) -> bool:
+        """The single-vertex-extension necessary condition of maximality.
+
+        The ledger kernel uses the bitmask check (translating local masks to
+        the maximality graph's index space when the two differ); the reference
+        kernel keeps the original label-space check.  Both decide identically.
+        """
+        target = self.maximality_graph
+        if self.kernel == "ledger":
+            mask = subset_mask if target is self.graph else target.mask_of(labels)
+            return mask_satisfies_maximality_necessary_condition(target, mask, self.gamma)
+        return satisfies_maximality_necessary_condition(target, labels, self.gamma)
 
 
 def fastqc_enumerate(graph: Graph, gamma: float, theta: int,
-                     branching: str = "hybrid",
+                     branching: str = "hybrid", kernel: str = "ledger",
                      maximality_filter: bool = True) -> list[frozenset]:
     """Functional convenience wrapper around :class:`FastQC`."""
-    return FastQC(graph, gamma, theta, branching=branching,
+    return FastQC(graph, gamma, theta, branching=branching, kernel=kernel,
                   maximality_filter=maximality_filter).enumerate()

@@ -1,0 +1,430 @@
+"""Incremental branch-state kernel: O(deg) degree ledgers for the enumeration core.
+
+The reference implementation (:mod:`repro.core.branch`,
+:mod:`repro.core.refinement`, :mod:`repro.core.branching`) recomputes every
+branch quantity — ``sigma(B)``, ``Delta(S)``, ``Delta(S ∪ C)``, both
+refinement rules, the T1/T2 termination conditions and the pivot scores —
+from scratch with per-vertex popcounts over full-graph-width bitmasks, even
+though a child branch differs from its parent by exactly one vertex.
+
+This module replaces those popcounts with an incremental :class:`BranchState`:
+
+* per-vertex ledgers ``deg_in_s[v] = delta(v, S)`` and
+  ``deg_in_union[v] = delta(v, S ∪ C)``, updated in ``O(deg(v))`` via the
+  graph's adjacency sets whenever a vertex moves between S, C and X
+  (excluded/removed);
+* every derived quantity then falls out of the identities
+  ``delta_bar(v, S) = |S| - deg_in_s[v]`` and
+  ``delta_bar(v, S ∪ C) = |S ∪ C| - deg_in_union[v]``, so the condition
+  C1&2 check, Refinement Rules 1–2, T1/T2 and pivot selection become plain
+  ``O(|S|)`` / ``O(|C|)`` integer-array scans with no popcounts at all.
+
+The functions mirror their reference counterparts one-to-one and visit the
+exact same branch tree (same refinement fixpoints, same pivot tie-breaks,
+same child ordering), so the kernelized enumerators are differentially
+testable against the mask-based implementations branch for branch.
+
+The module also provides :func:`depth_first_enumerate`, the explicit
+work-stack driver shared by FastQC and Quick+: it performs the same
+post-order traversal as the old recursion (children first, then the
+``G[S]`` fallback output decision) without consuming Python stack frames,
+which removes the ``sys.setrecursionlimit`` manipulation from the
+enumeration entry points.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..graph.graph import Graph, iter_bits
+from ..quasiclique.definitions import gamma_fraction
+from .branch import Branch
+from .branching import PivotInfo, hybrid_se_applicable, pivot_ordering_masks
+from .stats import SearchStatistics
+
+
+class BranchState:
+    """A branch ``(S, C, D)`` carrying incremental degree ledgers.
+
+    The masks mirror :class:`repro.core.branch.Branch` (same index space, same
+    invariants); on top of them the state maintains, for **every** vertex of
+    the graph, ``deg_in_s[v]`` and ``deg_in_union[v]`` — the number of
+    neighbours of ``v`` inside ``S`` and inside ``S ∪ C``.  Ledger entries of
+    vertices outside ``S ∪ C`` are kept up to date too (the updates are
+    symmetric), but never read.
+
+    States are mutable; :meth:`copy` is an O(n) pointer copy used when a
+    branch forks into children, after which each single-vertex move costs
+    ``O(deg(v))``.
+    """
+
+    __slots__ = ("graph", "stats", "s_mask", "c_mask", "d_mask",
+                 "s_size", "c_size", "deg_in_s", "deg_in_union")
+
+    def __init__(self, graph: Graph, stats: SearchStatistics | None,
+                 s_mask: int, c_mask: int, d_mask: int,
+                 s_size: int, c_size: int,
+                 deg_in_s: list[int], deg_in_union: list[int]) -> None:
+        self.graph = graph
+        self.stats = stats
+        self.s_mask = s_mask
+        self.c_mask = c_mask
+        self.d_mask = d_mask
+        self.s_size = s_size
+        self.c_size = c_size
+        self.deg_in_s = deg_in_s
+        self.deg_in_union = deg_in_union
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_branch(cls, graph: Graph, branch: Branch,
+                    stats: SearchStatistics | None = None) -> "BranchState":
+        """Build the ledgers for an arbitrary branch (one full scan, then O(deg))."""
+        n = graph.vertex_count
+        deg_in_s = [0] * n
+        deg_in_union = [0] * n
+        s_mask = branch.s_mask
+        union = branch.union_mask
+        masks = graph.adjacency_masks()
+        for v in iter_bits(union):
+            adjacency = masks[v]
+            deg_in_union[v] = (adjacency & union).bit_count()
+            if s_mask:
+                deg_in_s[v] = (adjacency & s_mask).bit_count()
+        return cls(graph, stats, s_mask, branch.c_mask, branch.d_mask,
+                   branch.partial_size, branch.candidate_size,
+                   deg_in_s, deg_in_union)
+
+    def copy(self) -> "BranchState":
+        """Fork the state (ledger lists are copied, the graph is shared)."""
+        return BranchState(self.graph, self.stats, self.s_mask, self.c_mask,
+                          self.d_mask, self.s_size, self.c_size,
+                          list(self.deg_in_s), list(self.deg_in_union))
+
+    def to_branch(self) -> Branch:
+        """The immutable mask view (reference interop, tests, diagnostics)."""
+        return Branch(self.s_mask, self.c_mask, self.d_mask)
+
+    # ------------------------------------------------------------------
+    # O(deg) vertex moves
+    # ------------------------------------------------------------------
+    def include(self, vertex: int) -> None:
+        """Move a candidate into S: only ``deg_in_s`` of its neighbours changes."""
+        bit = 1 << vertex
+        self.s_mask |= bit
+        self.c_mask &= ~bit
+        self.s_size += 1
+        self.c_size -= 1
+        deg_in_s = self.deg_in_s
+        neighbours = self.graph.adjacency_set(vertex)
+        for u in neighbours:
+            deg_in_s[u] += 1
+        stats = self.stats
+        if stats is not None:
+            stats.ledger_moves += 1
+            stats.ledger_updates += len(neighbours)
+
+    def remove(self, vertex: int, exclude: bool = False) -> None:
+        """Drop a candidate from the union (to D when ``exclude``, else to X).
+
+        Only ``deg_in_union`` of its neighbours changes; ``deg_in_s`` is
+        untouched because the vertex was not in S.
+        """
+        bit = 1 << vertex
+        self.c_mask &= ~bit
+        self.c_size -= 1
+        if exclude:
+            self.d_mask |= bit
+        deg_in_union = self.deg_in_union
+        neighbours = self.graph.adjacency_set(vertex)
+        for u in neighbours:
+            deg_in_union[u] -= 1
+        stats = self.stats
+        if stats is not None:
+            stats.ledger_moves += 1
+            stats.ledger_updates += len(neighbours)
+
+    # ------------------------------------------------------------------
+    # Derived views (used by tests and the emit path)
+    # ------------------------------------------------------------------
+    @property
+    def union_mask(self) -> int:
+        return self.s_mask | self.c_mask
+
+    @property
+    def union_size(self) -> int:
+        return self.s_size + self.c_size
+
+
+# ----------------------------------------------------------------------
+# Kernelized refinement (mirrors repro.core.refinement.progressively_refine)
+# ----------------------------------------------------------------------
+def refine_state(state: BranchState, gamma: float, theta: int,
+                 max_rounds: int | None = None
+                 ) -> tuple[bool, int, int, int, int]:
+    """Refine a branch state in place until the C1&2 / Rules 1–2 fixpoint.
+
+    Returns ``(pruned, tau_value, rounds, removed_by_rule1, removed_by_rule2)``
+    with exactly the semantics of
+    :func:`repro.core.refinement.progressively_refine`: same prune decisions,
+    same surviving candidate set, same final disconnection budget.  All checks
+    are O(|S|) / O(|C|) ledger scans; each removal costs O(deg).
+
+    ``sigma(B)`` and ``tau(sigma(B))`` are evaluated in exact integer
+    arithmetic over ``gamma = p/q`` instead of :class:`fractions.Fraction`
+    objects: with ``sigma = num/den``, ``tau(sigma) = ((q-p)*num + p*den) //
+    (q*den)`` — same values, no rational-number allocations in the hot loop.
+    """
+    gamma_exact = gamma_fraction(gamma)
+    p = gamma_exact.numerator
+    q = gamma_exact.denominator
+    removed_rule1 = 0
+    removed_rule2 = 0
+    rounds = 0
+    deg_in_s = state.deg_in_s
+    deg_in_union = state.deg_in_union
+    masks = state.graph.adjacency_masks()
+    while True:
+        rounds += 1
+        s_size = state.s_size
+        union_size = s_size + state.c_size
+        if s_size == 0:
+            sigma_num, sigma_den = union_size, 1
+            delta_s = 0
+        else:
+            min_deg_s = s_size
+            min_deg_u = union_size
+            for v in iter_bits(state.s_mask):
+                ds = deg_in_s[v]
+                if ds < min_deg_s:
+                    min_deg_s = ds
+                du = deg_in_union[v]
+                if du < min_deg_u:
+                    min_deg_u = du
+            delta_s = s_size - min_deg_s
+            # sigma = min(|S ∪ C|, d_min/gamma + 1): compare via cross products.
+            alt_num = min_deg_u * q + p        # (d_min*q + p) / p
+            if union_size * p <= alt_num:
+                sigma_num, sigma_den = union_size, 1
+            else:
+                sigma_num, sigma_den = alt_num, p
+        tau_value = ((q - p) * sigma_num + p * sigma_den) // (q * sigma_den)
+        if sigma_num < s_size * sigma_den or delta_s > tau_value:
+            return True, tau_value, rounds, removed_rule1, removed_rule2
+
+        # Rule 1: v ∈ C falls when delta_bar(v, S) + 1 > tau, or when some
+        # u ∈ S already sitting at the budget is not adjacent to v.
+        critical_mask = 0
+        if s_size:
+            for u in iter_bits(state.s_mask):
+                if s_size - deg_in_s[u] >= tau_value:
+                    critical_mask |= 1 << u
+        removals = []
+        for v in iter_bits(state.c_mask):
+            if s_size - deg_in_s[v] + 1 > tau_value or (critical_mask & ~masks[v]):
+                removals.append(v)
+        removed_rule1 += len(removals)
+        for v in removals:
+            state.remove(v)
+
+        # Rule 2: v ∈ C falls when delta(v, S ∪ C) < theta - tau (the union —
+        # hence the ledger — already reflects the Rule 1 removals).
+        removed_this_round = len(removals)
+        required = theta - tau_value
+        if required > 0:
+            removals = [v for v in iter_bits(state.c_mask)
+                        if deg_in_union[v] < required]
+            removed_rule2 += len(removals)
+            removed_this_round += len(removals)
+            for v in removals:
+                state.remove(v)
+
+        if removed_this_round == 0:
+            return False, tau_value, rounds, removed_rule1, removed_rule2
+        if max_rounds is not None and rounds >= max_rounds:
+            s_size = state.s_size
+            union_size = s_size + state.c_size
+            if s_size == 0:
+                sigma_num, sigma_den = union_size, 1
+                delta_s = 0
+            else:
+                min_deg_s = min(deg_in_s[v] for v in iter_bits(state.s_mask))
+                min_deg_u = min(deg_in_union[v] for v in iter_bits(state.s_mask))
+                delta_s = s_size - min_deg_s
+                alt_num = min_deg_u * q + p
+                if union_size * p <= alt_num:
+                    sigma_num, sigma_den = union_size, 1
+                else:
+                    sigma_num, sigma_den = alt_num, p
+            tau_value = ((q - p) * sigma_num + p * sigma_den) // (q * sigma_den)
+            pruned = sigma_num < s_size * sigma_den or delta_s > tau_value
+            return pruned, tau_value, rounds, removed_rule1, removed_rule2
+
+
+# ----------------------------------------------------------------------
+# Kernelized termination and pivoting
+# ----------------------------------------------------------------------
+def union_min_degree(state: BranchState) -> tuple[int, int]:
+    """Return ``(min deg_in_union over S ∪ C, first argmin)`` in one O(|S ∪ C|) scan.
+
+    ``Delta(S ∪ C) = |S ∪ C| - min``, and the argmin (lowest index among the
+    minima) is exactly the pivot the reference
+    :func:`repro.core.branching.select_pivot` picks, because it scans in
+    increasing index order and only replaces on strictly more disconnections.
+    """
+    deg_in_union = state.deg_in_union
+    best = state.s_size + state.c_size + 1
+    best_vertex = -1
+    for v in iter_bits(state.s_mask | state.c_mask):
+        d = deg_in_union[v]
+        if d < best:
+            best = d
+            best_vertex = v
+    return best, best_vertex
+
+
+def terminates_by_theta_state(state: BranchState, theta: int, tau_value: int) -> bool:
+    """Ledger form of termination condition T2 (Section 4.5)."""
+    union_size = state.s_size + state.c_size
+    if union_size < theta:
+        return True
+    required = theta - tau_value
+    if required <= 0:
+        return False
+    deg_in_union = state.deg_in_union
+    for v in iter_bits(state.s_mask):
+        if deg_in_union[v] < required:
+            return True
+    return False
+
+
+def pivot_from_state(state: BranchState, vertex: int, tau_value: int) -> PivotInfo:
+    """Build the :class:`PivotInfo` of a pivot vertex from the ledgers alone."""
+    s_size = state.s_size
+    union_size = s_size + state.c_size
+    deg_s = state.deg_in_s[vertex]
+    deg_u = state.deg_in_union[vertex]
+    return PivotInfo(
+        vertex=vertex,
+        in_partial=bool(state.s_mask >> vertex & 1),
+        disconnections_in_partial=s_size - deg_s,
+        disconnections_in_candidates=state.c_size - (deg_u - deg_s),
+        disconnections_in_union=union_size - deg_u,
+        budget=tau_value,
+    )
+
+
+def pivot_ordering_state(state: BranchState, pivot: PivotInfo) -> list[int]:
+    """The candidate ordering induced by the pivot (Equations 15 and 16)."""
+    return pivot_ordering_masks(state.graph.adjacency_mask(pivot.vertex),
+                                state.c_mask, pivot)
+
+
+# ----------------------------------------------------------------------
+# Kernelized branch generation (mirrors repro.core.branching)
+# ----------------------------------------------------------------------
+def se_children(state: BranchState, ordering: list[int],
+                keep: int | None = None, skip: int = 0) -> list[BranchState]:
+    """SE children over ``ordering``: child ``i`` includes ``v_i``, excludes priors."""
+    limit = len(ordering) if keep is None else min(keep, len(ordering))
+    children = []
+    running = state.copy()
+    for position in range(limit):
+        vertex = ordering[position]
+        if position >= skip:
+            child = running.copy()
+            child.include(vertex)
+            children.append(child)
+        running.remove(vertex, exclude=True)
+    return children
+
+
+def sym_se_children(state: BranchState, ordering: list[int],
+                    keep: int | None = None, skip: int = 0) -> list[BranchState]:
+    """Sym-SE children: child ``i`` includes ``v_1..v_{i-1}``, excludes ``v_i``."""
+    total = len(ordering) + 1
+    limit = total if keep is None else min(keep, total)
+    children = []
+    running = state.copy()
+    for position in range(limit):
+        if position < len(ordering):
+            vertex = ordering[position]
+            if position >= skip:
+                child = running.copy()
+                child.remove(vertex, exclude=True)
+                children.append(child)
+            running.include(vertex)
+        elif position >= skip:
+            # The |C|+1-th branch includes the whole candidate set; the running
+            # state already did exactly that, so it is the child itself.
+            children.append(running)
+    return children
+
+
+def generate_child_states(state: BranchState, pivot: PivotInfo,
+                          method: str) -> list[BranchState]:
+    """Ledger counterpart of :func:`repro.core.branching.generate_branches`."""
+    ordering = pivot_ordering_state(state, pivot)
+    if method == "se":
+        return se_children(state, ordering)
+    sym_keep = max(1, pivot.a + 1)
+    if method == "sym-se":
+        return sym_se_children(state, ordering, keep=sym_keep)
+    if method == "hybrid":
+        if hybrid_se_applicable(pivot):
+            excluding = se_children(state, ordering, keep=pivot.b, skip=1)
+            including = sym_se_children(state, ordering, keep=pivot.a + 1, skip=1)
+            return excluding + including
+        return sym_se_children(state, ordering, keep=sym_keep)
+    raise ValueError(f"unknown branching method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Explicit work-stack driver (replaces the recursive search)
+# ----------------------------------------------------------------------
+#: Values the enumerators accept for their ``kernel`` knob.
+KERNELS = ("ledger", "reference")
+
+
+def depth_first_enumerate(root, expand: Callable, close: Callable,
+                          should_stop: Callable[[], bool] | None = None) -> bool:
+    """Post-order depth-first search over branches with an explicit work stack.
+
+    ``expand(branch)`` is called once per visited branch and returns either a
+    ``bool`` (the branch terminated: pruned, T1/T2, or emitted) or a tuple
+    ``(children, payload)``; after every child's subtree completes,
+    ``close(payload, found_in_subtree)`` decides the branch's own result (the
+    ``G[S]`` fallback output of Algorithms 1–2).  The return value is True iff
+    a quasi-clique was output anywhere in the tree — identical to the old
+    recursion, but with O(depth) heap frames instead of Python stack frames.
+
+    ``should_stop`` is polled before each expansion; when it fires the search
+    abandons the stack and reports True so no ancestor emits its partial set
+    during the unwind (cooperative-cancellation semantics of the recursion).
+    """
+    stack: list[tuple[bool, object]] = [(False, root)]
+    found: list[bool] = [False]
+    while stack:
+        closing, payload = stack.pop()
+        if closing:
+            sub_found = found.pop()
+            if close(payload, sub_found):
+                sub_found = True
+            if sub_found:
+                found[-1] = True
+            continue
+        if should_stop is not None and should_stop():
+            return True
+        outcome = expand(payload)
+        if isinstance(outcome, bool):
+            if outcome:
+                found[-1] = True
+            continue
+        children, close_payload = outcome
+        stack.append((True, close_payload))
+        found.append(False)
+        for child in reversed(children):
+            stack.append((False, child))
+    return found[0]

@@ -2,12 +2,59 @@
 
 Branch counts are machine- and language-independent, so the experiment harness
 reports them next to wall-clock times: they are the quantity the paper's
-theoretical analysis actually bounds.
+theoretical analysis actually bounds.  The ledger counters expose how much
+incremental bookkeeping the :mod:`repro.core.kernel` branch-state kernel did
+(each vertex move between S/C/X touches only the moved vertex's neighbours).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, asdict
+
+
+@dataclass
+class SizeHistogram:
+    """Bounded summary of a stream of sizes (count / total / max + log2 buckets).
+
+    Replaces the old unbounded per-subproblem size list: a long-lived engine
+    serving millions of queries must not grow a Python list without bound, so
+    only O(log(max size)) bucket counters are kept.  Bucket keys are the
+    power-of-two floor of the recorded size (0 sizes land in bucket 0).
+    """
+
+    count: int = 0
+    total: int = 0
+    max: int = 0
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def record(self, size: int) -> None:
+        """Record one size observation in O(1) space."""
+        self.count += 1
+        self.total += size
+        if size > self.max:
+            self.max = size
+        key = 1 << (size.bit_length() - 1) if size > 0 else 0
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def average(self) -> float:
+        """Mean recorded size (0.0 when nothing was recorded)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "SizeHistogram") -> None:
+        """Accumulate another histogram into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
+        for key, value in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + value
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
 
 
 @dataclass
@@ -24,14 +71,16 @@ class SearchStatistics:
     outputs: int = 0
     outputs_suppressed_by_maximality: int = 0
     subproblems: int = 0
-    subproblem_sizes: list[int] = field(default_factory=list)
+    #: Ledger kernel bookkeeping: vertex moves between S/C/X and the per-move
+    #: neighbour ledger entries touched (0 for the mask-based reference path).
+    ledger_moves: int = 0
+    ledger_updates: int = 0
+    subproblem_sizes: SizeHistogram = field(default_factory=SizeHistogram)
 
     def as_dict(self) -> dict:
         data = asdict(self)
-        data["max_subproblem_size"] = max(self.subproblem_sizes, default=0)
-        data["avg_subproblem_size"] = (
-            sum(self.subproblem_sizes) / len(self.subproblem_sizes)
-            if self.subproblem_sizes else 0.0)
+        data["max_subproblem_size"] = self.subproblem_sizes.max
+        data["avg_subproblem_size"] = self.subproblem_sizes.average
         return data
 
     def merge(self, other: "SearchStatistics") -> None:
@@ -46,4 +95,6 @@ class SearchStatistics:
         self.outputs += other.outputs
         self.outputs_suppressed_by_maximality += other.outputs_suppressed_by_maximality
         self.subproblems += other.subproblems
-        self.subproblem_sizes.extend(other.subproblem_sizes)
+        self.ledger_moves += other.ledger_moves
+        self.ledger_updates += other.ledger_updates
+        self.subproblem_sizes.merge(other.subproblem_sizes)

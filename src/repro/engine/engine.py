@@ -293,7 +293,8 @@ class MQCEEngine:
             # The process-pool driver has no cooperative-cancellation channel,
             # so budgeted queries always take the sequential path.
             runner = ParallelDCFastQC(graph, plan.gamma, plan.theta,
-                                      branching=plan.branching, workers=plan.workers)
+                                      branching=plan.branching, kernel=plan.kernel,
+                                      workers=plan.workers)
             start = time.perf_counter()
             candidates = runner.enumerate()
             enumeration_seconds = time.perf_counter() - start

@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, asdict
 
+from ..core.kernel import KERNELS
 from ..pipeline.mqce import ALGORITHMS
 from ..quasiclique.definitions import gamma_fraction, validate_parameters
 from .prepared import PreparedGraph
@@ -54,6 +55,7 @@ class QueryPlan:
     algorithm: str
     branching: str
     framework: str
+    kernel: str
     parallel: bool
     workers: int
     fingerprint: str
@@ -83,7 +85,7 @@ class QueryPlan:
             f"on graph {self.fingerprint} "
             f"(|V|={self.graph_vertices}, |E|={self.graph_edges})",
             f"  algorithm:  {self.algorithm} (framework={self.framework}, "
-            f"branching={self.branching}, {mode})",
+            f"branching={self.branching}, kernel={self.kernel}, {mode})",
             f"  reduction:  core keeps {self.core_vertices_kept} of "
             f"{self.graph_vertices} vertices "
             f"({self.core_vertices_removed} pruned before enumeration)",
@@ -112,32 +114,34 @@ class QueryPlanner:
         """Plan one :class:`repro.api.QuerySpec` (the engine's planning entry).
 
         Only the spec fields that influence plan selection are consulted
-        (gamma, theta, algorithm, branching); workload modifiers and budgets
-        do not change how the enumeration itself is best executed.
+        (gamma, theta, algorithm, branching, kernel); workload modifiers and
+        budgets do not change how the enumeration itself is best executed.
         """
         return self.plan(prepared, spec.gamma, spec.theta,
                          algorithm=spec.algorithm, branching=spec.branching,
-                         workers=workers)
+                         kernel=spec.kernel, workers=workers)
 
     def plan(self, prepared: PreparedGraph, gamma: float, theta: int,
              algorithm: str = "auto", branching: str | None = None,
-             workers: int | None = None) -> QueryPlan:
+             kernel: str = "ledger", workers: int | None = None) -> QueryPlan:
         """Return the :class:`QueryPlan` for one query.
 
         ``algorithm="auto"`` lets the planner decide; naming one of
-        :data:`~repro.pipeline.mqce.ALGORITHMS` forces it.  ``branching`` and
-        ``workers`` likewise override the planner when given.  Planning never
-        runs the enumeration: it reads only memoized artifacts.
+        :data:`~repro.pipeline.mqce.ALGORITHMS` forces it.  ``branching``,
+        ``kernel`` and ``workers`` likewise override the planner when given.
+        Planning never runs the enumeration: it reads only memoized artifacts.
         """
         validate_parameters(gamma, theta)
         if algorithm != "auto" and algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected 'auto' or one of {ALGORITHMS}")
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
         # Plans are deterministic in the prepared graph and this configuration,
         # so they are memoized alongside the other prepared artifacts; repeated
         # (and cache-hit) queries skip the per-component eligibility scan.
         cache_key = (self.config, gamma_fraction(gamma), int(theta),
-                     algorithm, branching, workers)
+                     algorithm, branching, kernel, workers)
         memoized = prepared.plan_cache.get(cache_key)
         if memoized is not None:
             return memoized
@@ -181,6 +185,13 @@ class QueryPlanner:
         else:
             reasons.append(f"branching {branching!r} forced by the caller")
 
+        if kernel == "ledger" and chosen in ("dcfastqc", "fastqc"):
+            reasons.append("ledger kernel: incremental O(deg) degree ledgers over "
+                           "compact subproblem index spaces (no popcount rescans)")
+        elif kernel == "reference":
+            reasons.append("reference kernel forced: mask/popcount implementation "
+                           "(differential-testing oracle)")
+
         # An explicit worker count is honoured as-is; the default derives from
         # the machine (CPU count, capped by the planner configuration).
         available = min(self.config.max_workers, os.cpu_count() or 1)
@@ -210,7 +221,8 @@ class QueryPlanner:
 
         plan = QueryPlan(
             gamma=gamma, theta=theta, algorithm=chosen, branching=branching,
-            framework=framework, parallel=parallel, workers=effective_workers,
+            framework=framework, kernel=kernel,
+            parallel=parallel, workers=effective_workers,
             fingerprint=prepared.fingerprint,
             graph_vertices=prepared.graph.vertex_count,
             graph_edges=prepared.graph.edge_count,

@@ -3,15 +3,24 @@
 The paper's conclusion lists "efficient parallel implementations" as future
 work, and its related work covers a task-parallel Quick+ (T-thinker).  The
 divide-and-conquer framework is embarrassingly parallel: every subproblem
-``(v_i, G_i)`` is independent, so this module simply shards the subproblems
-across worker processes, runs the same FastQC engine in each worker and merges
-the outputs before the usual MQCE-S2 filter.
+``(v_i, G_i)`` is independent, so this module shards the subproblems across
+worker processes, runs the same FastQC engine in each worker and merges the
+outputs before the usual MQCE-S2 filter.
 
-The implementation purposely re-derives each subproblem inside the worker from
-``(graph, ordering position)`` instead of shipping branch bitmasks, so the
-parent process does the cheap global preprocessing (core reduction, degeneracy
-ordering) exactly once and the expensive enumeration is all that is
-distributed.
+The parent process does the cheap global preprocessing (core reduction,
+degeneracy ordering, per-root two-hop shrinking) exactly once and ships each
+subproblem as a *compact* payload
+(:class:`~repro.core.dcfastqc.CompactSubproblem`): the subproblem's vertices
+remapped to a dense local index space with their within-subproblem adjacency
+bitmasks.  Workers therefore deserialise and enumerate graphs whose bitmask
+and ledger widths track the subproblem size, not the input graph — a few
+tuples of small ints per task instead of the whole edge list per worker.
+
+Workers apply the maximality necessary-condition filter within their
+subproblem graph only (they never see the full graph), so a worker may emit a
+few more non-maximal candidates than the sequential driver; the MQCE-S2
+set-trie filter removes them, and :meth:`ParallelDCFastQC.find_maximal` is
+exactly the sequential answer.
 """
 
 from __future__ import annotations
@@ -21,8 +30,7 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-from ..core.branch import Branch
-from ..core.dcfastqc import DCFastQC, DEFAULT_MAX_ROUNDS
+from ..core.dcfastqc import CompactSubproblem, DCFastQC, DEFAULT_MAX_ROUNDS
 from ..core.fastqc import FastQC
 from ..graph.graph import Graph
 from ..quasiclique.definitions import validate_parameters
@@ -34,53 +42,26 @@ _WORKER_STATE: dict = {}
 
 @dataclass(frozen=True)
 class _WorkerConfig:
-    """Everything a worker needs to rebuild its enumerator."""
+    """The enumeration parameters shared by every shipped subproblem."""
 
-    edges: tuple
-    vertices: tuple
     gamma: float
     theta: int
     branching: str
-    max_rounds: int
-    framework: str
-    ordering: tuple
+    kernel: str
 
 
 def _initialise_worker(config: _WorkerConfig) -> None:
-    """Build the graph and driver once per worker process."""
-    graph = Graph(edges=config.edges, vertices=config.vertices)
-    driver = DCFastQC(graph, config.gamma, config.theta, branching=config.branching,
-                      framework=config.framework, max_rounds=config.max_rounds)
-    _WORKER_STATE["graph"] = graph
-    _WORKER_STATE["driver"] = driver
+    """Record the shared parameters once per worker process."""
     _WORKER_STATE["config"] = config
 
 
-def _run_subproblem(position: int) -> list[frozenset]:
-    """Enumerate one DC subproblem (identified by its position in the ordering)."""
-    graph: Graph = _WORKER_STATE["graph"]
-    driver: DCFastQC = _WORKER_STATE["driver"]
+def _run_subproblem(subproblem: CompactSubproblem) -> list[frozenset]:
+    """Enumerate one compact DC subproblem inside a worker process."""
     config: _WorkerConfig = _WORKER_STATE["config"]
-    ordering = config.ordering
-    root = ordering[position]
-    root_index = graph.index_of(root)
-    prior_mask = 0
-    for earlier in ordering[:position]:
-        prior_mask |= 1 << graph.index_of(earlier)
-    core_mask = driver._core_reduction_mask()
-    remaining = core_mask & ~prior_mask
-    if not (remaining >> root_index) & 1:
-        return []
-    from ..graph.subgraph import two_hop_mask
-
-    subproblem_mask = driver._shrink_subproblem(
-        root_index, two_hop_mask(graph, root_index, remaining))
-    if subproblem_mask.bit_count() < config.theta or not (subproblem_mask >> root_index) & 1:
-        return []
-    engine = FastQC(graph, config.gamma, config.theta, branching=config.branching)
-    branch = Branch(1 << root_index, subproblem_mask & ~(1 << root_index),
-                    prior_mask & ~(1 << root_index))
-    return engine.enumerate_branch(branch)
+    graph = subproblem.build_graph()
+    engine = FastQC(graph, config.gamma, config.theta,
+                    branching=config.branching, kernel=config.kernel)
+    return engine.enumerate_branch(subproblem.initial_branch())
 
 
 class ParallelDCFastQC:
@@ -94,7 +75,8 @@ class ParallelDCFastQC:
     """
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
-                 branching: str = "hybrid", max_rounds: int = DEFAULT_MAX_ROUNDS,
+                 branching: str = "hybrid", kernel: str = "ledger",
+                 max_rounds: int = DEFAULT_MAX_ROUNDS,
                  workers: int | None = None, chunk_size: int = 8) -> None:
         # Accept an engine PreparedGraph transparently (lazy import: no cycle).
         from ..engine.prepared import as_plain_graph
@@ -109,45 +91,46 @@ class ParallelDCFastQC:
         self.gamma = gamma
         self.theta = theta
         self.branching = branching
+        self.kernel = kernel
         self.max_rounds = max_rounds
         self.workers = workers if workers is not None else min(8, os.cpu_count() or 1)
         self.chunk_size = chunk_size
 
     # ------------------------------------------------------------------
-    def _ordering(self) -> Sequence:
-        """The degeneracy ordering of the core-reduced graph (same as DCFastQC)."""
-        driver = DCFastQC(self.graph, self.gamma, self.theta, branching=self.branching,
-                          max_rounds=self.max_rounds)
-        core_mask = driver._core_reduction_mask()
-        return driver._vertex_ordering(core_mask)
+    def _driver(self) -> DCFastQC:
+        """A sequential driver with this configuration (preprocessing + fallback)."""
+        return DCFastQC(self.graph, self.gamma, self.theta, branching=self.branching,
+                        kernel=self.kernel, max_rounds=self.max_rounds)
+
+    def _subproblems(self) -> Sequence[CompactSubproblem]:
+        """The compact subproblem payloads (parent-side preprocessing)."""
+        return tuple(self._driver().iter_compact_subproblems())
 
     def enumerate(self) -> list[frozenset]:
         """Return a set of QCs containing every large MQC (MQCE-S1), in parallel."""
-        ordering = tuple(self._ordering())
+        # Cheap workload estimate first (core reduction + ordering only): small
+        # jobs run in-process without materialising any compact payloads.
+        driver = self._driver()
+        ordering = driver._vertex_ordering(driver._core_reduction_mask())
         if not ordering:
             return []
         if self.workers <= 1 or len(ordering) <= self.chunk_size:
-            driver = DCFastQC(self.graph, self.gamma, self.theta, branching=self.branching,
-                              max_rounds=self.max_rounds)
-            return driver.enumerate()
-        config = _WorkerConfig(
-            edges=tuple(self.graph.edges()),
-            vertices=tuple(self.graph.vertices()),
-            gamma=self.gamma, theta=self.theta, branching=self.branching,
-            max_rounds=self.max_rounds, framework="dc", ordering=ordering,
-        )
+            return self._driver().enumerate()
+        subproblems = self._subproblems()
+        if not subproblems:
+            return []
+        config = _WorkerConfig(gamma=self.gamma, theta=self.theta,
+                               branching=self.branching, kernel=self.kernel)
         results: set[frozenset] = set()
         try:
             with ProcessPoolExecutor(max_workers=self.workers,
                                      initializer=_initialise_worker,
                                      initargs=(config,)) as pool:
-                for chunk in pool.map(_run_subproblem, range(len(ordering)),
+                for chunk in pool.map(_run_subproblem, subproblems,
                                       chunksize=self.chunk_size):
                     results.update(chunk)
         except (OSError, ValueError):  # pragma: no cover - platform fallback
-            driver = DCFastQC(self.graph, self.gamma, self.theta, branching=self.branching,
-                              max_rounds=self.max_rounds)
-            return driver.enumerate()
+            return self._driver().enumerate()
         return sorted(results, key=lambda h: (-len(h), sorted(map(str, h))))
 
     def find_maximal(self) -> list[frozenset]:

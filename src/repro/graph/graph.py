@@ -187,6 +187,28 @@ class Graph:
                 graph.add_edge(u, v)
         return graph
 
+    @classmethod
+    def from_dense_adjacency(cls, labels: Iterable[VertexLabel],
+                             adjacency_masks: Iterable[int]) -> "Graph":
+        """Build a graph directly from index-aligned adjacency bitmasks.
+
+        ``adjacency_masks[i]`` is the neighbour bitmask of ``labels[i]`` in the
+        new graph's own index space.  The masks must describe a simple
+        undirected graph (symmetric, no self-loop bits); the caller is trusted
+        because this is the hot constructor for per-subproblem compact
+        subgraphs — it installs adjacency wholesale instead of re-inserting
+        every edge through :meth:`add_edge`.
+        """
+        graph = cls(vertices=labels)
+        half_degrees = 0
+        for index, mask in enumerate(adjacency_masks):
+            graph._adjacency_masks[index] = mask
+            graph._adjacency_sets[index] = set(iter_bits(mask))
+            half_degrees += mask.bit_count()
+        graph._edge_count = half_degrees // 2
+        graph._version += 1
+        return graph
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

@@ -52,6 +52,7 @@ def canonical_order(quasi_cliques) -> list[frozenset]:
 
 def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "dcfastqc",
                      branching: str | None = None, framework: str = "dc",
+                     kernel: str = "ledger",
                      max_rounds: int = DEFAULT_MAX_ROUNDS,
                      maximality_filter: bool = True,
                      on_output: Callable[[frozenset], None] | None = None,
@@ -59,19 +60,22 @@ def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "d
     """Construct (but do not run) the requested MQCE-S1 enumerator.
 
     ``branching`` defaults to ``"hybrid"`` for FastQC/DCFastQC and ``"se"`` for
-    Quick+, matching the paper's configurations.  ``on_output`` and
-    ``should_stop`` feed the streaming/cancellation path; the naive baseline
-    ignores both (it materialises its answer in one exhaustive pass).
+    Quick+, matching the paper's configurations.  ``kernel`` selects the
+    FastQC-family execution kernel (``"ledger"`` incremental branch states or
+    the mask-based ``"reference"``); Quick+ and the naive baseline always use
+    their original mask implementations.  ``on_output`` and ``should_stop``
+    feed the streaming/cancellation path; the naive baseline ignores both (it
+    materialises its answer in one exhaustive pass).
     """
     validate_parameters(gamma, theta)
     if algorithm == "dcfastqc":
         return DCFastQC(graph, gamma, theta, branching=branching or "hybrid",
-                        framework=framework, max_rounds=max_rounds,
+                        framework=framework, kernel=kernel, max_rounds=max_rounds,
                         maximality_filter=maximality_filter,
                         on_output=on_output, should_stop=should_stop)
     if algorithm == "fastqc":
         return FastQC(graph, gamma, theta, branching=branching or "hybrid",
-                      maximality_filter=maximality_filter,
+                      kernel=kernel, maximality_filter=maximality_filter,
                       on_output=on_output, should_stop=should_stop)
     if algorithm == "quickplus":
         return QuickPlus(graph, gamma, theta, branching=branching or "se",
@@ -116,7 +120,7 @@ def run_enumeration(graph: Graph, spec,
         should_stop = lambda: time.monotonic() >= deadline  # noqa: E731
     enumerator = build_enumerator(graph, spec.gamma, spec.theta, algorithm=algorithm,
                                   branching=spec.branching, framework=framework,
-                                  max_rounds=spec.max_rounds,
+                                  kernel=spec.kernel, max_rounds=spec.max_rounds,
                                   maximality_filter=spec.maximality_filter,
                                   should_stop=should_stop)
     start = time.perf_counter()

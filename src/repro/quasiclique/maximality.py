@@ -17,8 +17,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 from itertools import combinations
 
-from ..graph.graph import Graph, VertexLabel
-from .definitions import is_quasi_clique
+from ..graph.graph import Graph, VertexLabel, iter_bits
+from .definitions import degree_threshold, is_quasi_clique
 
 
 def extending_vertices(graph: Graph, subset: Iterable[VertexLabel], gamma: float
@@ -48,6 +48,35 @@ def satisfies_maximality_necessary_condition(graph: Graph, subset: Iterable[Vert
     cheaply without risking the loss of any MQC.
     """
     return not extending_vertices(graph, subset, gamma)
+
+
+def mask_satisfies_maximality_necessary_condition(graph: Graph, subset_mask: int,
+                                                  gamma: float) -> bool:
+    """Bitmask form of :func:`satisfies_maximality_necessary_condition`.
+
+    Valid for the library's gamma range (``gamma >= 0.5``), where the degree
+    condition alone forces connectivity, so ``G[H ∪ {v}]`` is a quasi-clique
+    iff every member of ``H ∪ {v}`` has at least ``ceil(gamma * |H|)``
+    neighbours inside it.  This is the hot emission-path check of the ledger
+    kernel: all popcounts run over the (possibly compact) graph's own width,
+    and a candidate is rejected as soon as one member falls short.
+    """
+    if subset_mask == 0:
+        return True
+    masks = graph.adjacency_masks()
+    members = list(iter_bits(subset_mask))
+    required = degree_threshold(gamma, len(members) + 1)
+    neighbourhood = 0
+    for v in members:
+        neighbourhood |= masks[v]
+    for v in iter_bits(neighbourhood & ~subset_mask):
+        adjacency = masks[v]
+        if (adjacency & subset_mask).bit_count() < required:
+            continue
+        extended = subset_mask | (1 << v)
+        if all((masks[u] & extended).bit_count() >= required for u in members):
+            return False  # v extends H to a larger quasi-clique
+    return True
 
 
 def is_maximal_quasi_clique(graph: Graph, subset: Iterable[VertexLabel], gamma: float,

@@ -34,13 +34,24 @@ CASES = [
 ]
 
 #: Execution paths under test.  Each maps a (graph, gamma, theta) query to a
-#: canonically ordered list of maximal quasi-cliques.
+#: canonically ordered list of maximal quasi-cliques.  The FastQC-family
+#: algorithms run under both execution kernels: ``ledger`` (incremental
+#: branch states, compact DC subproblems — the default) and ``reference``
+#: (the original mask/popcount implementation).
 EXECUTORS = {
     "fastqc": lambda graph, gamma, theta: run_enumeration(
         graph, QuerySpec(gamma=gamma, theta=theta, algorithm="fastqc")
     ).maximal_quasi_cliques,
+    "fastqc-reference": lambda graph, gamma, theta: run_enumeration(
+        graph, QuerySpec(gamma=gamma, theta=theta, algorithm="fastqc",
+                         kernel="reference")
+    ).maximal_quasi_cliques,
     "dcfastqc": lambda graph, gamma, theta: run_enumeration(
         graph, QuerySpec(gamma=gamma, theta=theta, algorithm="dcfastqc")
+    ).maximal_quasi_cliques,
+    "dcfastqc-reference": lambda graph, gamma, theta: run_enumeration(
+        graph, QuerySpec(gamma=gamma, theta=theta, algorithm="dcfastqc",
+                         kernel="reference")
     ).maximal_quasi_cliques,
     "quickplus": lambda graph, gamma, theta: run_enumeration(
         graph, QuerySpec(gamma=gamma, theta=theta, algorithm="quickplus")
@@ -84,3 +95,36 @@ def test_executors_agree_pairwise(case_id):
                for name in EXECUTORS}
     reference = answers["dcfastqc"]
     assert all(result == reference for result in answers.values()), answers
+
+
+@pytest.mark.parametrize("branching", ["hybrid", "sym-se", "se"])
+@pytest.mark.parametrize("algorithm", ["fastqc", "dcfastqc"])
+@pytest.mark.parametrize("case_id", [case[0] for case in CASES])
+def test_ledger_kernel_matches_reference_exactly(case_id, algorithm, branching):
+    """The strongest parity claim: the ledger kernel is branch-for-branch
+    equivalent to the mask-based reference, for every algorithm and branching
+    method across the whole gamma/theta grid — identical *candidate
+    sequences* (pre-MQCE-S2, in emission order), identical maximal answers,
+    and identical search counters."""
+    graph, gamma, theta, _ = _case(case_id)
+    runs = {}
+    for kernel in ("ledger", "reference"):
+        spec = QuerySpec(gamma=gamma, theta=theta, algorithm=algorithm,
+                         branching=branching, kernel=kernel)
+        runs[kernel] = run_enumeration(graph, spec)
+    ledger, reference = runs["ledger"], runs["reference"]
+    assert ledger.candidate_quasi_cliques == reference.candidate_quasi_cliques
+    assert ledger.maximal_quasi_cliques == reference.maximal_quasi_cliques
+    for counter in ("branches_explored", "branches_pruned_by_condition",
+                    "branches_terminated_t1", "branches_terminated_t2",
+                    "candidates_removed_by_refinement", "outputs",
+                    "outputs_suppressed_by_maximality"):
+        assert (getattr(ledger.search_statistics, counter)
+                == getattr(reference.search_statistics, counter)), counter
+    # Only the ledger kernel performs incremental bookkeeping.  Vertices move
+    # whenever a branch forks into children (a subproblem that terminates at
+    # its root branch moves nothing), so compare against the subproblem count.
+    assert reference.search_statistics.ledger_moves == 0
+    stats = ledger.search_statistics
+    if stats.branches_explored > stats.subproblems:
+        assert stats.ledger_moves > 0

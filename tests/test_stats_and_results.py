@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro import SearchStatistics
+from repro.core.stats import SizeHistogram
 from repro.graph import GraphStatistics, graph_statistics, quasi_clique_statistics
+
+
+def _histogram(sizes):
+    histogram = SizeHistogram()
+    for size in sizes:
+        histogram.record(size)
+    return histogram
 
 
 class TestGraphStatistics:
@@ -39,25 +49,64 @@ class TestQuasiCliqueStatistics:
         assert data == {"count": 1, "min_size": 1, "max_size": 1, "avg_size": 1.0}
 
 
+class TestSizeHistogram:
+    def test_record_tracks_count_total_max(self):
+        histogram = _histogram([4, 8, 3])
+        assert histogram.count == 3
+        assert histogram.total == 15
+        assert histogram.max == 8
+        assert histogram.average == pytest.approx(5.0)
+
+    def test_bounded_state(self):
+        # 10k observations collapse into O(log max) buckets, not a 10k list.
+        histogram = _histogram(range(10_000))
+        assert histogram.count == 10_000
+        assert len(histogram.buckets) <= (10_000).bit_length() + 1
+
+    def test_power_of_two_buckets(self):
+        histogram = _histogram([0, 1, 2, 3, 4, 7, 8])
+        assert histogram.buckets == {0: 1, 1: 1, 2: 2, 4: 2, 8: 1}
+
+    def test_merge(self):
+        first = _histogram([5])
+        first.merge(_histogram([7, 2]))
+        assert first.count == 3
+        assert first.total == 14
+        assert first.max == 7
+        assert first.buckets == {4: 2, 2: 1}
+
+    def test_truthiness(self):
+        assert not SizeHistogram()
+        assert _histogram([1])
+        assert len(_histogram([1, 2])) == 2
+
+
 class TestSearchStatistics:
     def test_defaults(self):
         stats = SearchStatistics()
         assert stats.branches_explored == 0
-        assert stats.subproblem_sizes == []
+        assert stats.ledger_moves == 0
+        assert stats.ledger_updates == 0
+        assert not stats.subproblem_sizes
 
     def test_merge(self):
         first = SearchStatistics(branches_explored=3, outputs=1, subproblems=1,
-                                 subproblem_sizes=[5])
+                                 ledger_moves=2, ledger_updates=9,
+                                 subproblem_sizes=_histogram([5]))
         second = SearchStatistics(branches_explored=4, outputs=2, subproblems=2,
-                                  subproblem_sizes=[7, 2])
+                                  ledger_moves=1, ledger_updates=4,
+                                  subproblem_sizes=_histogram([7, 2]))
         first.merge(second)
         assert first.branches_explored == 7
         assert first.outputs == 3
         assert first.subproblems == 3
-        assert first.subproblem_sizes == [5, 7, 2]
+        assert first.ledger_moves == 3
+        assert first.ledger_updates == 13
+        assert first.subproblem_sizes.count == 3
+        assert first.subproblem_sizes.max == 7
 
     def test_as_dict_aggregates(self):
-        stats = SearchStatistics(subproblem_sizes=[4, 8])
+        stats = SearchStatistics(subproblem_sizes=_histogram([4, 8]))
         data = stats.as_dict()
         assert data["max_subproblem_size"] == 8
         assert data["avg_subproblem_size"] == pytest.approx(6.0)
@@ -66,3 +115,8 @@ class TestSearchStatistics:
         data = SearchStatistics().as_dict()
         assert data["max_subproblem_size"] == 0
         assert data["avg_subproblem_size"] == 0.0
+
+    def test_as_dict_is_json_serialisable(self):
+        # The CLI prints these dicts with json.dumps; the histogram must not break it.
+        stats = SearchStatistics(subproblem_sizes=_histogram([3, 9]))
+        assert json.loads(json.dumps(stats.as_dict()))["subproblem_sizes"]["count"] == 2
