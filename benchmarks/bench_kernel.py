@@ -111,3 +111,90 @@ def test_kernel_speedup_meets_target(benchmark):
     attach_rows(benchmark, rows)
     passing = [row for row in rows if row["speedup"] >= REQUIRED_SPEEDUP]
     assert len(passing) >= min(REQUIRED_DATASETS, len(rows)), rows
+
+
+# ----------------------------------------------------------------------
+# Quick+ kernel rows: the same ledger-vs-reference comparison for the
+# paper's co-design ablation baseline (all three algorithms share one
+# branch-state kernel since PR 5).
+# ----------------------------------------------------------------------
+QUICKPLUS_FULL_CASES = (
+    ("qp-trec", "trec", 0.96, 10),
+    ("qp-kmer", "kmer", 0.51, 6),
+    ("qp-enron", "enron", 0.9, 9),
+    ("qp-flixster", "flixster", 0.96, 10),
+)
+QUICKPLUS_QUICK_CASES = (
+    ("qp-trec", "trec", 0.96, 10),
+    ("qp-kmer", "kmer", 0.51, 6),
+)
+QUICKPLUS_CASES = (QUICKPLUS_QUICK_CASES if os.environ.get("REPRO_BENCH_QUICK")
+                   else QUICKPLUS_FULL_CASES)
+
+#: Quick+ floor: the shared ledger kernel must halve the baseline's cold
+#: latency on at least this many datasets.
+QUICKPLUS_REQUIRED_SPEEDUP = 1.5
+QUICKPLUS_REQUIRED_DATASETS = 2
+
+_QP_ROWS: dict[str, dict] = {}
+
+
+def _measure_quickplus(case_id: str) -> dict:
+    if case_id in _QP_ROWS:
+        return _QP_ROWS[case_id]
+    from repro.baselines.quickplus import QuickPlus
+
+    _, dataset, gamma, theta = next(c for c in QUICKPLUS_CASES if c[0] == case_id)
+    graph = load_dataset(dataset)
+    timings = {}
+    outputs = {}
+    branches = {}
+    for kernel in ("ledger", "reference"):
+        best = None
+        for _ in range(2):
+            algo = QuickPlus(graph, gamma, theta, kernel=kernel)
+            start = time.perf_counter()
+            results = algo.enumerate()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+            outputs[kernel] = results
+            branches[kernel] = algo.statistics.branches_explored
+        timings[kernel] = best
+    assert outputs["ledger"] == outputs["reference"], \
+        f"{case_id}: Quick+ kernel and reference outputs diverged"
+    assert branches["ledger"] == branches["reference"], \
+        f"{case_id}: Quick+ kernels explored different branch trees"
+    row = {
+        "case": case_id,
+        "dataset": dataset,
+        "gamma": gamma,
+        "theta": theta,
+        "branches": branches["ledger"],
+        "ledger_ms": round(timings["ledger"] * 1000, 3),
+        "reference_ms": round(timings["reference"] * 1000, 3),
+        "speedup": (round(timings["reference"] / timings["ledger"], 2)
+                    if timings["ledger"] else float("inf")),
+    }
+    _QP_ROWS[case_id] = row
+    return row
+
+
+@pytest.mark.parametrize("case_id", [case[0] for case in QUICKPLUS_CASES])
+def test_quickplus_kernel_vs_reference(benchmark, case_id):
+    """Per-dataset row: Quick+ cold latency under both kernels, with parity."""
+    row = run_once(benchmark, _measure_quickplus, case_id)
+    attach_rows(benchmark, [row])
+    print()
+    print(f"{case_id}: ledger {row['ledger_ms']} ms vs reference "
+          f"{row['reference_ms']} ms -> {row['speedup']}x")
+
+
+def test_quickplus_kernel_speedup_meets_target(benchmark):
+    """Quick+'s ledger kernel must be >= 1.5x on at least two datasets."""
+    rows = run_once(benchmark, lambda: [_measure_quickplus(case[0])
+                                        for case in QUICKPLUS_CASES])
+    attach_rows(benchmark, rows)
+    passing = [row for row in rows
+               if row["speedup"] >= QUICKPLUS_REQUIRED_SPEEDUP]
+    assert len(passing) >= min(QUICKPLUS_REQUIRED_DATASETS, len(rows)), rows

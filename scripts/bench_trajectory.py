@@ -1,30 +1,38 @@
 #!/usr/bin/env python
-"""Perf-trajectory harness: record the enumeration core's speed over time.
+"""Perf-trajectory harness: record every perf subsystem's speed over time.
 
-Runs a fixed benchmark suite — cold DCFastQC enumeration (no result cache, no
-prepared-graph reuse) on registry dataset analogues at branch-heavy parameter
-points — under both execution kernels:
+Runs the repository's recorded benchmark suites and writes one combined
+trajectory record to ``BENCH_core.json`` at the repository root:
 
-* ``ledger`` — the incremental degree-ledger kernel over compact subproblem
-  index spaces (:mod:`repro.core.kernel`), the production default;
-* ``reference`` — the original mask/popcount implementation, kept as the
-  differential-testing oracle and as the perf baseline.
+* ``core-enumeration`` — cold DCFastQC enumeration (no result cache, no
+  prepared-graph reuse) on registry dataset analogues at branch-heavy
+  parameter points, under both execution kernels (``ledger`` vs the
+  mask-based ``reference`` oracle), with output-parity checks;
+* ``quickplus-kernel`` — the same ledger-vs-reference comparison for the
+  Quick+ baseline (the paper's co-design ablation workhorse);
+* ``engine-cache`` — cold vs warm `MQCEEngine.query` latency (result-cache
+  serving path);
+* ``dynamic-updates`` — one edge update + requery through the
+  ``DynamicEngine`` (incremental) vs a full rebuild.
 
-Per dataset it records latency, branch counts and branches/sec, and writes
-the whole table to ``BENCH_core.json`` at the repository root.  Committing
-that file after a perf-relevant change gives the repo a recorded perf
-trajectory that later PRs can regress against.
+Committing the file after a perf-relevant change gives the repo a recorded
+perf trajectory that later PRs can regress against — one file, every
+subsystem.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_trajectory.py            # full suite
-    PYTHONPATH=src python scripts/bench_trajectory.py --quick    # CI smoke
-    PYTHONPATH=src python scripts/bench_trajectory.py --assert-speedup 3.0
+    PYTHONPATH=src python scripts/bench_trajectory.py              # all suites
+    PYTHONPATH=src python scripts/bench_trajectory.py --suite core --quick
+    PYTHONPATH=src python scripts/bench_trajectory.py --quick \\
+        --assert-speedup 3.0 --assert-quickplus-speedup 1.5 --output -
 
 ``--assert-speedup X`` exits non-zero unless at least ``--assert-count``
-datasets (default 2) beat the reference kernel by the given factor — the CI
-perf-smoke job runs ``--quick --assert-speedup 3.0`` so a kernel regression
-fails the PR.  ``REPRO_BENCH_QUICK=1`` implies ``--quick``.
+core datasets beat the reference kernel by the given factor;
+``--assert-quickplus-speedup``, ``--assert-warm-speedup`` and
+``--assert-dynamic-speedup`` do the same for the other suites.  The CI
+perf-smoke job runs the quick suites with floors so kernel, cache or
+dynamic-path regressions fail the PR.  ``REPRO_BENCH_QUICK=1`` implies
+``--quick``.
 """
 
 from __future__ import annotations
@@ -39,57 +47,97 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.dcfastqc import DCFastQC                      # noqa: E402
-from repro.datasets import load_dataset                       # noqa: E402
+from repro.baselines.quickplus import QuickPlus                   # noqa: E402
+from repro.core.dcfastqc import DCFastQC                          # noqa: E402
+from repro.datasets import (                                      # noqa: E402
+    get_spec,
+    load_dataset,
+    load_dynamic,
+    load_prepared,
+)
+from repro.engine import MQCEEngine, PreparedGraph                # noqa: E402
 
-#: The fixed suite: (dataset, gamma, theta) chosen so enumeration — not
+SUITES = ("core", "quickplus", "engine-cache", "dynamic-updates")
+
+#: Core suite: (dataset, gamma, theta) chosen so enumeration — not
 #: preprocessing — dominates (hundreds to thousands of branches each).
-FULL_SUITE = (
+CORE_FULL = (
     ("ca-grqc", 0.9, 5),
     ("enron", 0.85, 6),
     ("pokec", 0.9, 6),
     ("uk2002", 0.9, 7),
     ("uk2002-heavy", 0.85, 8),
 )
-
-#: Quick (CI smoke) subset: the three rows with the largest speedup margins.
-QUICK_SUITE = (
+CORE_QUICK = (
     ("enron", 0.85, 6),
     ("pokec", 0.9, 6),
     ("uk2002", 0.9, 7),
 )
 
+#: Quick+ suite: branch-heavy points where the baseline still terminates
+#: quickly enough to benchmark both kernels.
+QUICKPLUS_FULL = (
+    ("trec", 0.96, 10),
+    ("kmer", 0.51, 6),
+    ("enron", 0.9, 9),
+    ("flixster", 0.96, 10),
+)
+QUICKPLUS_QUICK = (
+    ("trec", 0.96, 10),
+    ("kmer", 0.51, 6),
+)
+
+ENGINE_CACHE_FULL = ("ca-grqc", "enron", "douban", "kmer")
+ENGINE_CACHE_QUICK = ("ca-grqc",)
+
+DYNAMIC_FULL = ("ca-grqc", "enron", "uk2002")
+DYNAMIC_QUICK = ("ca-grqc",)
+
 #: Benchmark rows may rename a dataset to carry distinct parameters.
 DATASET_ALIASES = {"uk2002-heavy": "uk2002"}
 
 
-def _run_kernel(graph, gamma: float, theta: int, kernel: str, repeat: int):
-    """Best-of-``repeat`` cold enumeration; returns (seconds, algo, results)."""
+def _best_of(repeat: int, build, run):
+    """Best-of-``repeat`` timing; returns (seconds, instance, result)."""
     best = None
     for _ in range(repeat):
-        algo = DCFastQC(graph, gamma, theta, kernel=kernel)
+        instance = build()
         start = time.perf_counter()
-        results = algo.enumerate()
+        result = run(instance)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best[0]:
-            best = (elapsed, algo, results)
+            best = (elapsed, instance, result)
     return best
 
 
-def run_suite(suite, repeat: int = 1, verbose: bool = True) -> dict:
-    """Run every suite row under both kernels; returns the trajectory record."""
+def _geomean(values) -> float:
+    values = list(values)
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1 / len(values)) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Suites
+# ----------------------------------------------------------------------
+def run_core_suite(suite, repeat: int = 1, verbose: bool = True) -> dict:
+    """Cold DCFastQC enumeration under both kernels (with parity checks)."""
     rows = {}
     for name, gamma, theta in suite:
         graph = load_dataset(DATASET_ALIASES.get(name, name))
-        ledger_s, ledger_algo, ledger_results = _run_kernel(
-            graph, gamma, theta, "ledger", repeat)
-        reference_s, reference_algo, reference_results = _run_kernel(
-            graph, gamma, theta, "reference", repeat)
+        ledger_s, ledger_algo, ledger_results = _best_of(
+            repeat, lambda: DCFastQC(graph, gamma, theta, kernel="ledger"),
+            lambda algo: algo.enumerate())
+        reference_s, _, reference_results = _best_of(
+            repeat, lambda: DCFastQC(graph, gamma, theta, kernel="reference"),
+            lambda algo: algo.enumerate())
         if ledger_results != reference_results:
             raise AssertionError(
                 f"{name}: kernel and reference outputs diverged "
                 f"({len(ledger_results)} vs {len(reference_results)} candidates)")
-        branches = ledger_algo.statistics.branches_explored
+        stats = ledger_algo.statistics
+        branches = stats.branches_explored
         row = {
             "gamma": gamma,
             "theta": theta,
@@ -101,72 +149,256 @@ def run_suite(suite, repeat: int = 1, verbose: bool = True) -> dict:
             "reference_ms": round(reference_s * 1000, 3),
             "branches_per_sec": round(branches / ledger_s) if ledger_s else 0,
             "speedup": round(reference_s / ledger_s, 2) if ledger_s else float("inf"),
-            "ledger_moves": ledger_algo.statistics.ledger_moves,
-            "ledger_updates": ledger_algo.statistics.ledger_updates,
+            "ledger_moves": stats.ledger_moves,
+            "ledger_updates": stats.ledger_updates,
+            "shrink_rounds": stats.shrink_rounds,
+            "shrink_removed": (stats.shrink_removed_one_hop
+                               + stats.shrink_removed_two_hop),
+            "shrink_ledger_updates": stats.shrink_ledger_updates,
         }
         rows[name] = row
         if verbose:
-            print(f"{name:14s} gamma={gamma} theta={theta}: "
+            print(f"core       {name:14s} gamma={gamma} theta={theta}: "
                   f"ledger {row['ledger_ms']:.1f} ms vs reference "
                   f"{row['reference_ms']:.1f} ms -> {row['speedup']}x "
-                  f"({row['branches']} branches, "
-                  f"{row['branches_per_sec']} branches/s)")
-    speedups = [row["speedup"] for row in rows.values()]
-    geomean = 1.0
-    for value in speedups:
-        geomean *= value
-    geomean **= 1 / len(speedups)
+                  f"({row['branches']} branches)")
     return {
-        "suite": "core-enumeration-v1",
         "workload": "cold DCFastQC enumeration (no result cache)",
         "kernels": ["ledger", "reference"],
         "datasets": rows,
         "summary": {
-            "geomean_speedup": round(geomean, 2),
+            "geomean_speedup": round(
+                _geomean(r["speedup"] for r in rows.values()), 2),
             "total_ledger_ms": round(sum(r["ledger_ms"] for r in rows.values()), 3),
-            "total_reference_ms": round(sum(r["reference_ms"] for r in rows.values()), 3),
+            "total_reference_ms": round(
+                sum(r["reference_ms"] for r in rows.values()), 3),
         },
     }
 
 
+def run_quickplus_suite(suite, repeat: int = 1, verbose: bool = True) -> dict:
+    """Cold Quick+ enumeration under both kernels (with parity checks)."""
+    rows = {}
+    for name, gamma, theta in suite:
+        graph = load_dataset(DATASET_ALIASES.get(name, name))
+        ledger_s, ledger_algo, ledger_results = _best_of(
+            repeat, lambda: QuickPlus(graph, gamma, theta, kernel="ledger"),
+            lambda algo: algo.enumerate())
+        reference_s, _, reference_results = _best_of(
+            repeat, lambda: QuickPlus(graph, gamma, theta, kernel="reference"),
+            lambda algo: algo.enumerate())
+        if ledger_results != reference_results:
+            raise AssertionError(f"{name}: Quick+ kernel outputs diverged")
+        row = {
+            "gamma": gamma,
+            "theta": theta,
+            "branches": ledger_algo.statistics.branches_explored,
+            "ledger_ms": round(ledger_s * 1000, 3),
+            "reference_ms": round(reference_s * 1000, 3),
+            "speedup": round(reference_s / ledger_s, 2) if ledger_s else float("inf"),
+        }
+        rows[name] = row
+        if verbose:
+            print(f"quickplus  {name:14s} gamma={gamma} theta={theta}: "
+                  f"ledger {row['ledger_ms']:.1f} ms vs reference "
+                  f"{row['reference_ms']:.1f} ms -> {row['speedup']}x")
+    return {
+        "workload": "cold Quick+ enumeration (SE branching, Type I/II pruning)",
+        "kernels": ["ledger", "reference"],
+        "datasets": rows,
+        "summary": {
+            "geomean_speedup": round(
+                _geomean(r["speedup"] for r in rows.values()), 2),
+        },
+    }
+
+
+def run_engine_cache_suite(names, repeat: int = 1, verbose: bool = True) -> dict:
+    """Cold vs warm `MQCEEngine.query` latency per registry dataset."""
+    rows = {}
+    for name in names:
+        spec = get_spec(name)
+        gamma, theta = spec.default_gamma, spec.default_theta
+        best = None
+        for _ in range(repeat):
+            prepared = load_prepared(name)
+            engine = MQCEEngine()
+            start = time.perf_counter()
+            cold_result = engine.query(prepared, gamma, theta)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            warm_result = engine.query(prepared, gamma, theta)
+            warm = time.perf_counter() - start
+            assert warm_result.maximal_quasi_cliques == cold_result.maximal_quasi_cliques
+            assert engine.cache.stats.hits == 1
+            if best is None or cold + warm < best[0] + best[1]:
+                best = (cold, warm)
+        cold, warm = best
+        row = {
+            "gamma": gamma,
+            "theta": theta,
+            "cold_ms": round(cold * 1000, 3),
+            "warm_ms": round(warm * 1000, 3),
+            "speedup": round(cold / warm, 1) if warm else float("inf"),
+        }
+        rows[name] = row
+        if verbose:
+            print(f"cache      {name:14s} cold {row['cold_ms']:.1f} ms vs warm "
+                  f"{row['warm_ms']:.2f} ms -> {row['speedup']}x")
+    return {
+        "workload": "MQCEEngine.query cold vs warm (result-cache hit)",
+        "datasets": rows,
+        "summary": {
+            "geomean_speedup": round(
+                _geomean(r["speedup"] for r in rows.values()), 1),
+        },
+    }
+
+
+def run_dynamic_suite(names, repeat: int = 1, verbose: bool = True) -> dict:
+    """One edge update + requery: DynamicEngine vs full engine rebuild."""
+    rows = {}
+    for name in names:
+        spec = get_spec(name)
+        gamma, theta = spec.default_gamma, spec.default_theta
+        best = None
+        for _ in range(repeat):
+            dynamic = load_dynamic(name)
+            baseline = dynamic.query(gamma, theta)
+            result_sets = (list(baseline.maximal_quasi_cliques)
+                           + list(baseline.candidate_quasi_cliques))
+            edge = next(((u, v) for u, v in dynamic.graph.edges()
+                         if not any(u in s and v in s for s in result_sets)), None)
+            assert edge is not None, f"{name}: no background edge available"
+            start = time.perf_counter()
+            report = dynamic.remove_edge(*edge)
+            incremental_result = dynamic.query(gamma, theta)
+            incremental = time.perf_counter() - start
+            assert report.invalidated == 0 and report.retained >= 1, report
+            start = time.perf_counter()
+            rebuilt = MQCEEngine().query(PreparedGraph(dynamic.graph), gamma, theta)
+            rebuild = time.perf_counter() - start
+            assert rebuilt.maximal_quasi_cliques == incremental_result.maximal_quasi_cliques
+            if best is None or incremental < best[0]:
+                best = (incremental, rebuild)
+        incremental, rebuild = best
+        row = {
+            "gamma": gamma,
+            "theta": theta,
+            "incremental_ms": round(incremental * 1000, 3),
+            "rebuild_ms": round(rebuild * 1000, 3),
+            "speedup": (round(rebuild / incremental, 1)
+                        if incremental else float("inf")),
+        }
+        rows[name] = row
+        if verbose:
+            print(f"dynamic    {name:14s} incremental {row['incremental_ms']:.1f} ms "
+                  f"vs rebuild {row['rebuild_ms']:.1f} ms -> {row['speedup']}x")
+    return {
+        "workload": "edge update + requery: DynamicEngine vs full rebuild",
+        "datasets": rows,
+        "summary": {
+            "geomean_speedup": round(
+                _geomean(r["speedup"] for r in rows.values()), 1),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def _assert_floor(record: dict, suite_key: str, floor: float | None,
+                  needed: int, failures: list[str]) -> None:
+    if floor is None:
+        return
+    if suite_key not in record["suites"]:
+        # A floor on a suite that did not run is a harness mistake (wrong
+        # --suite selection, renamed key): fail loudly, never vacuously pass.
+        failures.append(f"{suite_key}: floor {floor}x requested but the suite "
+                        f"did not run (ran: {sorted(record['suites'])})")
+        return
+    rows = record["suites"][suite_key]["datasets"]
+    passing = [name for name, row in rows.items() if row["speedup"] >= floor]
+    required = min(needed, len(rows))
+    if len(passing) < required:
+        failures.append(
+            f"{suite_key}: only {len(passing)} of {len(rows)} datasets reached "
+            f"{floor}x (need {required}): "
+            f"{ {name: row['speedup'] for name, row in rows.items()} }")
+    else:
+        print(f"OK: {suite_key} has {len(passing)}/{len(rows)} datasets at "
+              f">= {floor}x ({', '.join(passing)})")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--suite", action="append", choices=SUITES + ("all",),
+                        help="which suites to run (repeatable; default all)")
     parser.add_argument("--quick", action="store_true",
-                        help="run the CI smoke subset (also via REPRO_BENCH_QUICK=1)")
+                        help="run the CI smoke subsets (also via REPRO_BENCH_QUICK=1)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per measurement (best-of, default 1)")
     parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_core.json",
                         help="where to write the trajectory record "
                         "(default: BENCH_core.json at the repo root; '-' to skip)")
     parser.add_argument("--assert-speedup", type=float, default=None, metavar="FLOOR",
-                        help="exit non-zero unless enough datasets beat the "
+                        help="core suite: fail unless enough datasets beat the "
                         "reference kernel by this factor")
+    parser.add_argument("--assert-quickplus-speedup", type=float, default=None,
+                        metavar="FLOOR",
+                        help="quickplus suite: same assertion for Quick+")
+    parser.add_argument("--assert-warm-speedup", type=float, default=None,
+                        metavar="FLOOR",
+                        help="engine-cache suite: warm hits must beat cold queries")
+    parser.add_argument("--assert-dynamic-speedup", type=float, default=None,
+                        metavar="FLOOR",
+                        help="dynamic-updates suite: incremental must beat rebuild")
     parser.add_argument("--assert-count", type=int, default=2, metavar="N",
-                        help="how many datasets must meet the floor (default 2)")
+                        help="how many datasets must meet each floor (default 2)")
     args = parser.parse_args(argv)
 
     quick = args.quick or bool(os.environ.get("REPRO_BENCH_QUICK"))
-    suite = QUICK_SUITE if quick else FULL_SUITE
-    record = run_suite(suite, repeat=args.repeat)
-    record["quick"] = quick
-    print(f"\ngeomean speedup: {record['summary']['geomean_speedup']}x over "
-          f"{len(record['datasets'])} datasets")
+    selected = set(args.suite or ["all"])
+    if "all" in selected:
+        selected = set(SUITES)
+
+    record: dict = {"suites": {}, "quick": quick, "repeat": args.repeat}
+    if "core" in selected:
+        record["suites"]["core-enumeration"] = run_core_suite(
+            CORE_QUICK if quick else CORE_FULL, repeat=args.repeat)
+    if "quickplus" in selected:
+        record["suites"]["quickplus-kernel"] = run_quickplus_suite(
+            QUICKPLUS_QUICK if quick else QUICKPLUS_FULL, repeat=args.repeat)
+    if "engine-cache" in selected:
+        record["suites"]["engine-cache"] = run_engine_cache_suite(
+            ENGINE_CACHE_QUICK if quick else ENGINE_CACHE_FULL, repeat=args.repeat)
+    if "dynamic-updates" in selected:
+        record["suites"]["dynamic-updates"] = run_dynamic_suite(
+            DYNAMIC_QUICK if quick else DYNAMIC_FULL, repeat=args.repeat)
+
+    print()
+    for key, suite in record["suites"].items():
+        summary = suite["summary"]
+        print(f"{key}: geomean speedup {summary['geomean_speedup']}x "
+              f"over {len(suite['datasets'])} datasets")
 
     if str(args.output) != "-":
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")
 
-    if args.assert_speedup is not None:
-        passing = [name for name, row in record["datasets"].items()
-                   if row["speedup"] >= args.assert_speedup]
-        needed = min(args.assert_count, len(record["datasets"]))
-        if len(passing) < needed:
-            print(f"FAIL: only {len(passing)} datasets reached "
-                  f"{args.assert_speedup}x (need {needed}): {record['datasets']}",
-                  file=sys.stderr)
-            return 1
-        print(f"OK: {len(passing)}/{len(record['datasets'])} datasets at "
-              f">= {args.assert_speedup}x ({', '.join(passing)})")
+    failures: list[str] = []
+    _assert_floor(record, "core-enumeration", args.assert_speedup,
+                  args.assert_count, failures)
+    _assert_floor(record, "quickplus-kernel", args.assert_quickplus_speedup,
+                  args.assert_count, failures)
+    _assert_floor(record, "engine-cache", args.assert_warm_speedup,
+                  1, failures)
+    _assert_floor(record, "dynamic-updates", args.assert_dynamic_speedup,
+                  1, failures)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -56,10 +56,12 @@ class QuerySpec:
         planner choose; ``branching=None`` / ``framework=None`` likewise defer
         to the algorithm's default.
     kernel:
-        Enumeration kernel for the FastQC family: ``"ledger"`` (default,
-        incremental degree-ledger branch states over compact subproblem index
-        spaces) or ``"reference"`` (the original mask/popcount
-        implementation).  Both are exact and produce identical answers.
+        Enumeration kernel shared by FastQC, DCFastQC and Quick+:
+        ``"ledger"`` (default — incremental degree-ledger branch states,
+        kernelized subproblem shrinking and ledger-based Type I/II pruning
+        over compact subproblem index spaces) or ``"reference"`` (the
+        original mask/popcount implementation).  Both are exact and produce
+        identical answers on identical branch trees.
     k:
         When given, return only the ``k`` largest answers (ranked by size,
         ties broken by sorted labels).

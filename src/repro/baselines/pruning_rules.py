@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from ..graph.graph import Graph, iter_bits
-from ..quasiclique.definitions import degree_threshold, gamma_fraction
+from ..quasiclique.definitions import degree_threshold, gamma_fraction, gamma_pq
 from ..core.branch import Branch
 
 
@@ -164,6 +164,158 @@ def triggers_type2_rules(graph: Graph, branch: Branch, gamma: float, theta: int,
             if non_neighbors_in_s > budget:
                 return True
     return False
+
+
+# ----------------------------------------------------------------------
+# Ledger-kernel forms: the same rules phrased against a BranchState
+# ----------------------------------------------------------------------
+# Each *_state function decides exactly like its mask counterpart above but
+# reads the per-vertex degree ledgers of a :class:`repro.core.kernel.BranchState`
+# instead of popcounting full-width bitmasks, and evaluates every threshold
+# in integer arithmetic over ``gamma = p/q`` (no Fraction allocations):
+# ``floor(deg / gamma) = deg*q // p`` and
+# ``floor((1-gamma) * x) = (q-p)*x // q``.
+
+def _size_upper_bound_state(state, p: int, q: int) -> int:
+    """Ledger form of :func:`branch_size_upper_bound`."""
+    bound = state.s_size + state.c_size
+    deg_in_union = state.deg_in_union
+    bit_length = int.bit_length
+    remaining = state.s_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        candidate = deg_in_union[bit_length(low) - 1] * q // p + 1
+        if candidate < bound:
+            bound = candidate
+    return bound
+
+
+def type1_removals_mask_state(state, gamma: float, theta: int,
+                              config: PruningConfig = PruningConfig()) -> int:
+    """Ledger form of :func:`apply_type1_rules`: the candidate bits to remove.
+
+    Decides exactly ``c_mask & ~apply_type1_rules(...)``.  Rules I.a (degree)
+    and I.c (non-neighbours) are one fused ledger-read scan over the
+    candidates; rule I.b (diameter) is evaluated in bulk per *partial* vertex
+    ``u``: the candidates at distance > 2 from ``u`` within ``G[S ∪ C]`` are
+    ``C \\ Γ(u) \\ N(Γ(u) ∩ (S ∪ C))``, three mask operations after one
+    neighbourhood-union sweep — no per-candidate inner loop at all.
+    """
+    p, q = gamma_pq(gamma)
+    s_size = state.s_size
+    required = minimum_required_degree(gamma, theta, s_size, True)
+    non_neighbor_budget = (q - p) * max(0, _size_upper_bound_state(state, p, q) - 1) // q
+    deg_in_s = state.deg_in_s
+    deg_in_union = state.deg_in_union
+    bit_length = int.bit_length
+    check_degree = config.candidate_degree
+    check_non_neighbor = config.candidate_non_neighbor
+    removal_mask = 0
+    if check_degree and check_non_neighbor:
+        # Common all-rules configuration: branch-free fused scan.
+        s_minus_budget = s_size - non_neighbor_budget
+        remaining = state.c_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            v = bit_length(low) - 1
+            if deg_in_union[v] < required or deg_in_s[v] < s_minus_budget:
+                removal_mask |= low
+    elif check_degree or check_non_neighbor:
+        remaining = state.c_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            v = bit_length(low) - 1
+            if (check_degree and deg_in_union[v] < required) or (
+                    check_non_neighbor
+                    and s_size - deg_in_s[v] > non_neighbor_budget):
+                removal_mask |= low
+    if config.candidate_diameter and gamma >= 0.5 and state.s_mask:
+        masks = state.graph.adjacency_masks()
+        union = state.s_mask | state.c_mask
+        c_mask = state.c_mask
+        remaining = state.s_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            u_adjacency = masks[bit_length(low) - 1]
+            distant = c_mask & ~u_adjacency & ~removal_mask
+            if not distant:
+                continue
+            reach = 0
+            middle = u_adjacency & union
+            while middle:
+                middle_low = middle & -middle
+                middle ^= middle_low
+                reach |= masks[middle_low.bit_length() - 1]
+                distant &= ~reach
+                if not distant:
+                    break
+            removal_mask |= distant
+    return removal_mask
+
+
+def triggers_type2_rules_state(state, gamma: float, theta: int,
+                               config: PruningConfig = PruningConfig()) -> bool:
+    """Ledger form of :func:`triggers_type2_rules` (identical decisions)."""
+    union_size = state.s_size + state.c_size
+    if config.branch_size and union_size < theta:
+        return True
+    s_mask = state.s_mask
+    if not s_mask:
+        return False
+    p, q = gamma_pq(gamma)
+    s_size = state.s_size
+    required = minimum_required_degree(gamma, theta, s_size, False)
+    deg_in_union = state.deg_in_union
+    bit_length = int.bit_length
+    min_degree = None
+    remaining = s_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        degree = deg_in_union[bit_length(low) - 1]
+        if config.branch_degree and degree < required:
+            return True
+        if min_degree is None or degree < min_degree:
+            min_degree = degree
+    size_upper_bound = union_size
+    if min_degree is not None:
+        size_upper_bound = min(size_upper_bound, min_degree * q // p + 1)
+    if config.branch_upper_bound and size_upper_bound < max(theta, s_size):
+        return True
+    if config.branch_non_neighbor:
+        budget = (q - p) * max(0, size_upper_bound - 1) // q
+        deg_in_s = state.deg_in_s
+        remaining = s_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            if s_size - deg_in_s[bit_length(low) - 1] - 1 > budget:
+                return True
+    return False
+
+
+def critical_vertex_forced_mask_state(state, gamma: float, theta: int) -> int:
+    """Ledger form of :func:`critical_vertex_forced_mask`."""
+    s_mask = state.s_mask
+    if not s_mask:
+        return 0
+    required = minimum_required_degree(gamma, theta, state.s_size, False)
+    deg_in_union = state.deg_in_union
+    masks = state.graph.adjacency_masks()
+    bit_length = int.bit_length
+    forced = 0
+    remaining = s_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        u = bit_length(low) - 1
+        if deg_in_union[u] == required:
+            forced |= masks[u] & state.c_mask
+    return forced
 
 
 def critical_vertex_forced_mask(graph: Graph, branch: Branch, gamma: float, theta: int) -> int:

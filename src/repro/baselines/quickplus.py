@@ -10,6 +10,18 @@ For the paper's "co-design" ablation the branching method is configurable: the
 same pruning rules can be combined with the Sym-SE or Hybrid-SE branch
 generators (driven by the FastQC pivot machinery), which isolates the
 contribution of the branching part.
+
+Like the FastQC family, Quick+ runs on one of two interchangeable execution
+kernels (``kernel=``):
+
+* ``"ledger"`` (default) — branches are :class:`repro.core.kernel.BranchState`
+  objects whose per-vertex degree ledgers make every Type I/II rule, the
+  critical-vertex rule and the terminal quasi-clique check O(|S|) / O(|C|)
+  flat-array scans with integer threshold arithmetic
+  (:mod:`repro.baselines.pruning_rules` ``*_state`` forms);
+* ``"reference"`` — the original mask/popcount implementation, kept as the
+  differential-testing oracle.  Both kernels visit the identical branch tree
+  and emit identical outputs in the same order.
 """
 
 from __future__ import annotations
@@ -21,13 +33,26 @@ from ..quasiclique.definitions import mask_is_quasi_clique, validate_parameters
 from ..core.branch import Branch
 from ..core.branching import BRANCHING_METHODS, generate_branches, select_pivot
 from ..core.conditions import tau_sigma
-from ..core.kernel import depth_first_enumerate
+from ..core.kernel import (
+    KERNELS,
+    BranchState,
+    depth_first_enumerate,
+    generate_child_states,
+    partial_is_quasi_clique_state,
+    pivot_from_state,
+    se_children,
+    tau_sigma_state,
+    union_min_degree,
+)
 from ..core.stats import SearchStatistics
 from .pruning_rules import (
     PruningConfig,
     apply_type1_rules,
     critical_vertex_forced_mask,
+    critical_vertex_forced_mask_state,
     triggers_type2_rules,
+    triggers_type2_rules_state,
+    type1_removals_mask_state,
 )
 
 
@@ -37,21 +62,28 @@ class QuickPlus:
     Parameters mirror :class:`repro.core.fastqc.FastQC`; ``branching="se"`` is
     the faithful Quick+ configuration, while ``"sym-se"`` / ``"hybrid"``
     reproduce the paper's ablation that pairs the old pruning rules with the
-    new branching methods.
+    new branching methods.  ``kernel`` selects the execution kernel
+    (incremental ``"ledger"`` branch states or the mask-based
+    ``"reference"``); both produce identical outputs on the identical branch
+    tree.
     """
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
                  branching: str = "se", pruning: PruningConfig = PruningConfig(),
+                 kernel: str = "ledger",
                  on_output: Callable[[frozenset], None] | None = None,
                  should_stop: Callable[[], bool] | None = None) -> None:
         validate_parameters(gamma, theta)
         if branching not in BRANCHING_METHODS:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         self.graph = graph
         self.gamma = gamma
         self.theta = theta
         self.branching = branching
         self.pruning = pruning
+        self.kernel = kernel
         self.on_output = on_output
         self.should_stop = should_stop
         self.stopped = False
@@ -82,8 +114,13 @@ class QuickPlus:
         self.statistics.subproblems += 1
         self.statistics.subproblem_sizes.record(branch.union_size)
         start = len(self._results)
-        depth_first_enumerate(branch, self._expand, self._close,
-                              should_stop=self._poll_stop)
+        if self.kernel == "ledger":
+            root = BranchState.from_branch(self.graph, branch, self.statistics)
+            depth_first_enumerate(root, self._expand_ledger, self._close,
+                                  should_stop=self._poll_stop)
+        else:
+            depth_first_enumerate(branch, self._expand_reference, self._close,
+                                  should_stop=self._poll_stop)
         return self._results[start:]
 
     @property
@@ -101,8 +138,44 @@ class QuickPlus:
             return True
         return False
 
-    def _expand(self, branch: Branch):
-        """One branch visit: termination, critical-vertex rule, pruned children."""
+    def _expand_ledger(self, state: BranchState):
+        """One branch visit under the incremental degree-ledger kernel."""
+        self.statistics.branches_explored += 1
+
+        # Termination: no candidates left (lines 3-6).
+        if state.c_mask == 0:
+            if state.s_mask and partial_is_quasi_clique_state(state, self.gamma):
+                self._emit(state.s_mask)
+                return True
+            return False
+
+        # Critical-vertex rule: candidates that every large QC under the branch
+        # must contain are moved into S before branching.
+        if self.pruning.critical_vertex:
+            forced = critical_vertex_forced_mask_state(state, self.gamma, self.theta)
+            while forced:
+                low = forced & -forced
+                forced ^= low
+                state.include(low.bit_length() - 1)
+
+        children = self._create_child_states(state)
+        kept = []
+        for child in children:
+            # Pruning before the next recursion (lines 9-10).
+            removal_mask = type1_removals_mask_state(child, self.gamma,
+                                                     self.theta, self.pruning)
+            if removal_mask:
+                self.statistics.candidates_removed_by_type1 += removal_mask.bit_count()
+                child.remove_mask(removal_mask)
+            if triggers_type2_rules_state(child, self.gamma, self.theta,
+                                          self.pruning):
+                self.statistics.branches_pruned_by_type2 += 1
+                continue
+            kept.append(child)
+        return kept, state.s_mask
+
+    def _expand_reference(self, branch: Branch):
+        """One branch visit under the original mask/popcount implementation."""
         self.statistics.branches_explored += 1
 
         # Termination: no candidates left (lines 3-6).
@@ -167,6 +240,20 @@ class QuickPlus:
             return []
         return generate_branches(self.graph, branch, pivot, self.branching)
 
+    def _create_child_states(self, state: BranchState) -> list[BranchState]:
+        """Ledger counterpart of :meth:`_create_children` (same children)."""
+        if self.branching == "se":
+            return se_children(state, list(iter_bits(state.c_mask)))
+        tau_value = tau_sigma_state(state, self.gamma)
+        min_deg, pivot_vertex = union_min_degree(state)
+        if state.s_size + state.c_size - min_deg <= tau_value:
+            # select_pivot would find no qualifying vertex: the whole branch
+            # is a QC; emit it and stop descending.
+            self._emit(state.s_mask | state.c_mask)
+            return []
+        pivot = pivot_from_state(state, pivot_vertex, tau_value)
+        return generate_child_states(state, pivot, self.branching)
+
     def _emit(self, subset_mask: int) -> None:
         if subset_mask.bit_count() < self.theta:
             return
@@ -181,6 +268,8 @@ class QuickPlus:
 
 
 def quickplus_enumerate(graph: Graph, gamma: float, theta: int,
-                        branching: str = "se") -> list[frozenset]:
+                        branching: str = "se",
+                        kernel: str = "ledger") -> list[frozenset]:
     """Functional convenience wrapper around :class:`QuickPlus`."""
-    return QuickPlus(graph, gamma, theta, branching=branching).enumerate()
+    return QuickPlus(graph, gamma, theta, branching=branching,
+                     kernel=kernel).enumerate()

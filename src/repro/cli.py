@@ -524,8 +524,9 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--framework", choices=DC_FRAMEWORKS,
                               help="force the divide-and-conquer framework")
     query_parser.add_argument("--kernel", choices=KERNELS,
-                              help="enumeration kernel: incremental degree ledgers "
-                              "(default) or the mask-based reference")
+                              help="enumeration kernel for FastQC/DCFastQC/Quick+: "
+                              "incremental degree ledgers (default) or the "
+                              "mask-based reference oracle")
     query_parser.add_argument("--max-rounds", type=int, help="subproblem shrinking rounds")
     query_parser.add_argument("--containing", nargs="+", metavar="VERTEX",
                               help="only quasi-cliques containing these vertices")

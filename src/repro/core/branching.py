@@ -83,8 +83,19 @@ def pivot_ordering_masks(adjacency: int, c_mask: int, pivot: PivotInfo) -> list[
     :func:`repro.core.kernel.pivot_ordering_state` — the two paths must order
     identically for branch-for-branch parity.
     """
-    non_neighbours = list(iter_bits(c_mask & ~adjacency))
-    neighbours = list(iter_bits(c_mask & adjacency))
+    bit_length = int.bit_length
+    non_neighbours = []
+    remaining = c_mask & ~adjacency
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        non_neighbours.append(bit_length(low) - 1)
+    neighbours = []
+    remaining = c_mask & adjacency
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        neighbours.append(bit_length(low) - 1)
     if pivot.in_partial:
         return non_neighbours + neighbours
     front = [pivot.vertex] + [v for v in non_neighbours if v != pivot.vertex]

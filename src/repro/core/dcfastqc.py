@@ -20,19 +20,18 @@ and one-hop shrinking only) and plain FastQC (no decomposition) for Figure 12.
 
 from __future__ import annotations
 
-import math
-from collections.abc import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..graph.graph import Graph, VertexLabel, iter_bits
 from ..graph.core_decomposition import degeneracy_ordering, k_core_vertices
 from ..graph.subgraph import compact_subgraph, two_hop_mask
-from ..quasiclique.definitions import degree_threshold, tau, validate_parameters
+from ..quasiclique.definitions import degree_threshold, gamma_pq, validate_parameters
 from .branch import Branch
 from .branching import BRANCHING_METHODS
 from .fastqc import FastQC
-from .kernel import KERNELS
+from .kernel import KERNELS, ShrinkLedgers
 from .stats import SearchStatistics
 
 #: Supported divide-and-conquer frameworks (Figure 12 ablation).
@@ -61,15 +60,45 @@ class CompactSubproblem:
     graph's vertex count.  The payload is a plain tuple-of-ints structure on
     purpose: :class:`repro.extensions.parallel.ParallelDCFastQC` pickles it to
     worker processes verbatim.
+
+    ``halo_labels`` / ``halo_adjacency`` carry the subproblem's **one-hop
+    maximality halo**: every full-graph neighbour of a subproblem member that
+    is not itself a member, with its adjacency *into* the subproblem (a
+    bitmask over the local ball indices).  Any single-vertex extension of a
+    candidate ``H ⊆`` ball is adjacent to ``H``, so it lives in the ball or
+    the halo, and deciding whether it extends ``H`` only consults edges into
+    the ball — the halo therefore lets a worker that never sees the full
+    graph reproduce the sequential driver's maximality filtering exactly.
     """
 
     root_local: int                 # local index of the subproblem root v_i
     labels: tuple                   # local index -> original label
     adjacency_masks: tuple[int, ...]
+    halo_labels: tuple = ()         # one-hop neighbours outside the ball
+    halo_adjacency: tuple[int, ...] = ()  # their adjacency into the ball
 
     def build_graph(self) -> Graph:
         """Materialise the subproblem graph (labels preserved)."""
         return Graph.from_dense_adjacency(self.labels, self.adjacency_masks)
+
+    def build_maximality_graph(self) -> Graph:
+        """Materialise the ball plus its one-hop halo (maximality surrogate).
+
+        Halo vertices occupy the local indices after the ball; halo–halo
+        edges are intentionally absent (the necessary-condition check adds
+        one vertex at a time to a set inside the ball, so it never reads
+        them).  Without a recorded halo this is just the ball graph.
+        """
+        if not self.halo_labels:
+            return self.build_graph()
+        ball_size = len(self.labels)
+        combined = list(self.adjacency_masks)
+        for offset, ball_adjacency in enumerate(self.halo_adjacency):
+            halo_bit = 1 << (ball_size + offset)
+            combined.append(ball_adjacency)
+            for member in iter_bits(ball_adjacency):
+                combined[member] |= halo_bit
+        return Graph.from_dense_adjacency(self.labels + self.halo_labels, combined)
 
     def initial_branch(self) -> Branch:
         """The branch ``(S = {root}, C = rest, D = ∅)`` in local index space.
@@ -109,12 +138,16 @@ def two_hop_pruning_threshold(gamma: float, theta: int, max_size: int) -> int:
     ``theta <= h <= max_size`` matters, the provably safe threshold is the
     minimum of ``h - 2 * tau(h)`` over that range (which coincides with the
     paper's closed form ``theta - tau(theta) - tau(theta + 1)`` in practice).
-    Memoized: the shrinking loop re-evaluates it for every subproblem and
-    round, over a small set of distinct ``max_size`` values.
+    Evaluated in integer arithmetic over ``gamma = p/q``
+    (``tau(h) = ((q-p)*h + p) // q``) and memoized: the shrinking loop
+    re-evaluates it for every subproblem and round, over a small set of
+    distinct ``max_size`` values.
     """
     if max_size < theta:
         return 0
-    return min(h - 2 * tau(h, gamma) for h in range(theta, max_size + 1))
+    p, q = gamma_pq(gamma)
+    d = q - p
+    return min(h - 2 * ((d * h + p) // q) for h in range(theta, max_size + 1))
 
 
 class DCFastQC:
@@ -279,15 +312,34 @@ class DCFastQC:
         adjacency — worker enumeration cost then scales with the subproblem,
         not the graph.
         """
+        graph = self.graph
         for root_index, refined_mask, _prior_mask in self._iter_subproblems():
             if self.stopped:
                 return
-            subgraph = compact_subgraph(self.graph, refined_mask)
+            subgraph = compact_subgraph(graph, refined_mask)
             root_local = (refined_mask & ((1 << root_index) - 1)).bit_count()
+            # One-hop maximality halo: every outside neighbour of a member,
+            # with its adjacency remapped into the ball's local index space.
+            local_of = {global_index: local
+                        for local, global_index in enumerate(iter_bits(refined_mask))}
+            halo_mask = 0
+            for member in local_of:
+                halo_mask |= graph.adjacency_mask(member)
+            halo_mask &= ~refined_mask
+            halo_labels = []
+            halo_adjacency = []
+            for outside in iter_bits(halo_mask):
+                into_ball = 0
+                for member in iter_bits(graph.adjacency_mask(outside) & refined_mask):
+                    into_ball |= 1 << local_of[member]
+                halo_labels.append(graph.label_of(outside))
+                halo_adjacency.append(into_ball)
             yield CompactSubproblem(
                 root_local=root_local,
                 labels=tuple(subgraph.vertices()),
                 adjacency_masks=tuple(subgraph.adjacency_masks()),
+                halo_labels=tuple(halo_labels),
+                halo_adjacency=tuple(halo_adjacency),
             )
 
     def _iter_subproblems(self) -> Iterator[tuple[int, int, int]]:
@@ -299,14 +351,15 @@ class DCFastQC:
         """
         core_mask = self._core_reduction_mask()
         ordering = self._vertex_ordering(core_mask)
+        graph = self.graph
         prior_mask = 0
         for root in ordering:
             if self.should_stop is not None and self.should_stop():
                 self.stopped = True
                 return
-            root_index = self.graph.index_of(root)
+            root_index = graph.index_of(root)
             remaining = core_mask & ~prior_mask
-            subproblem_mask = two_hop_mask(self.graph, root_index, remaining)
+            subproblem_mask = two_hop_mask(graph, root_index, remaining)
             initial_size = subproblem_mask.bit_count()
             refined_mask = self._shrink_subproblem(root_index, subproblem_mask)
             self.dc_statistics.subproblem_records.append(SubproblemRecord(
@@ -335,11 +388,27 @@ class DCFastQC:
             return []
         if self.framework == "basic-dc":
             return sorted(kept_labels, key=lambda v: (self.graph.degree(v), self.graph.index_of(v)))
-        reduced = self.graph.induced_subgraph(kept_labels)
+        if core_mask == self.graph.full_mask():
+            # Nothing was pruned: order the graph itself.  Safe because the
+            # degeneracy tie-breaks are content-deterministic (mask-order
+            # neighbour walks), so this equals ordering a rebuilt copy.
+            reduced = self.graph
+        else:
+            reduced = compact_subgraph(self.graph, core_mask)
         return degeneracy_ordering(reduced)
 
     def _shrink_subproblem(self, root_index: int, subproblem_mask: int) -> int:
-        """Lines 5-6 of Algorithm 3: one-hop and two-hop pruning for MAX_ROUND rounds."""
+        """Lines 5-6 of Algorithm 3: one-hop and two-hop pruning for MAX_ROUND rounds.
+
+        The ledger kernel runs the :class:`ShrinkLedgers` rules (store-free
+        fused first passes, a bit-sliced bulk two-hop pass, ledger reads from
+        the second pass of a rule on); the reference kernel keeps the
+        original mask-based rounds, which re-popcount every member every
+        round and serve as the differential oracle.  Both produce bit-for-bit
+        identical refined sets.
+        """
+        if self.kernel == "ledger":
+            return self._shrink_subproblem_ledger(root_index, subproblem_mask)
         use_two_hop = self.framework == "dc"
         required_degree = degree_threshold(self.gamma, self.theta)
         current = subproblem_mask
@@ -351,6 +420,33 @@ class DCFastQC:
             if current == before:
                 break
         return current
+
+    def _shrink_subproblem_ledger(self, root_index: int, subproblem_mask: int) -> int:
+        """Ledger-kernel form of :meth:`_shrink_subproblem`.
+
+        The surviving vertex set is identical to the mask-based reference's;
+        see :class:`ShrinkLedgers` for how the passes avoid re-popcounting.
+        """
+        if self.max_rounds == 0:
+            return subproblem_mask
+        use_two_hop = self.framework == "dc"
+        required_degree = degree_threshold(self.gamma, self.theta)
+        stats = self.statistics
+        ledgers = ShrinkLedgers(self.graph, root_index, subproblem_mask,
+                                stats=stats, track_common=use_two_hop)
+        for _ in range(self.max_rounds):
+            stats.shrink_rounds += 1
+            removed = ledgers.one_hop_round(required_degree)
+            stats.shrink_removed_one_hop += removed
+            if use_two_hop:
+                threshold = two_hop_pruning_threshold(
+                    self.gamma, self.theta, ledgers.alive_count)
+                dropped = ledgers.two_hop_round(threshold)
+                stats.shrink_removed_two_hop += dropped
+                removed += dropped
+            if removed == 0:
+                break
+        return ledgers.alive_mask
 
     def _one_hop_prune(self, root_index: int, mask: int, required_degree: int) -> int:
         """Remove ``u != root`` with fewer than ``ceil(gamma*(theta-1))`` neighbours in V_i."""

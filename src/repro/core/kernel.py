@@ -1,23 +1,32 @@
-"""Incremental branch-state kernel: O(deg) degree ledgers for the enumeration core.
+"""Incremental branch-state kernel: flat degree ledgers for the enumeration stack.
 
-The reference implementation (:mod:`repro.core.branch`,
-:mod:`repro.core.refinement`, :mod:`repro.core.branching`) recomputes every
-branch quantity — ``sigma(B)``, ``Delta(S)``, ``Delta(S ∪ C)``, both
-refinement rules, the T1/T2 termination conditions and the pivot scores —
-from scratch with per-vertex popcounts over full-graph-width bitmasks, even
-though a child branch differs from its parent by exactly one vertex.
+The reference implementations (:mod:`repro.core.branch`,
+:mod:`repro.core.refinement`, :mod:`repro.core.branching`,
+:mod:`repro.baselines.pruning_rules`) recompute every branch quantity —
+``sigma(B)``, ``Delta(S)``, ``Delta(S ∪ C)``, the refinement and Type I/II
+pruning rules, the T1/T2 termination conditions and the pivot scores — from
+scratch with per-vertex popcounts over full-graph-width bitmasks, even though
+a child branch differs from its parent by exactly one vertex.
 
-This module replaces those popcounts with an incremental :class:`BranchState`:
+This module replaces those popcounts with flat-buffer ledgers, shared by all
+three branch-and-bound algorithms (FastQC, DCFastQC and Quick+):
 
-* per-vertex ledgers ``deg_in_s[v] = delta(v, S)`` and
-  ``deg_in_union[v] = delta(v, S ∪ C)``, updated in ``O(deg(v))`` via the
-  graph's adjacency sets whenever a vertex moves between S, C and X
-  (excluded/removed);
-* every derived quantity then falls out of the identities
-  ``delta_bar(v, S) = |S| - deg_in_s[v]`` and
-  ``delta_bar(v, S ∪ C) = |S ∪ C| - deg_in_union[v]``, so the condition
-  C1&2 check, Refinement Rules 1–2, T1/T2 and pivot selection become plain
-  ``O(|S|)`` / ``O(|C|)`` integer-array scans with no popcounts at all.
+* :class:`BranchState` carries per-vertex ledgers ``deg_in_s[v] =
+  delta(v, S)`` and ``deg_in_union[v] = delta(v, S ∪ C)``, updated in
+  ``O(deg(v) ∩ union)`` per single-vertex move and *adaptively* for mass
+  removals (:meth:`BranchState.remove_mask` recomputes the few survivors when
+  a pruning pass guts the candidate set).  Every derived quantity falls out
+  of ``delta_bar(v, S) = |S| - deg_in_s[v]`` and ``delta_bar(v, S ∪ C) =
+  |S ∪ C| - deg_in_union[v]``, so C1&2, Refinement Rules 1–2, Quick+'s
+  Type I/II rules, T1/T2 and pivot selection become plain ``O(|S|)`` /
+  ``O(|C|)`` flat-array scans with integer threshold arithmetic.
+* :class:`ShrinkLedgers` kernelizes DCFastQC's subproblem shrinking: fused
+  store-free first passes, a bit-sliced bulk two-hop rule, and lazily
+  reconciled degree/common-neighbour ledgers for the later rounds.
+* The ledger buffers come from a pluggable backend (``REPRO_KERNEL_BACKEND``:
+  ``auto`` — the default, picking ``array('i')`` for wide states and plain
+  lists for compact subproblem states — or a forced ``array`` / ``numpy`` /
+  ``list``).
 
 The functions mirror their reference counterparts one-to-one and visit the
 exact same branch tree (same refinement fixpoints, same pivot tie-breaks,
@@ -34,7 +43,10 @@ enumeration entry points.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import os
+import warnings
+from array import array
+from collections.abc import Callable, Iterable
 
 from ..graph.graph import Graph, iter_bits
 from ..quasiclique.definitions import gamma_fraction
@@ -43,19 +55,135 @@ from .branching import PivotInfo, hybrid_se_applicable, pivot_ordering_masks
 from .stats import SearchStatistics
 
 
+# ----------------------------------------------------------------------
+# Ledger buffer backends
+# ----------------------------------------------------------------------
+#: Values the ``REPRO_KERNEL_BACKEND`` environment variable accepts.
+LEDGER_BACKENDS = ("auto", "array", "numpy", "list")
+
+#: The process-default backend (resolved once at import; see set_ledger_backend).
+DEFAULT_LEDGER_BACKEND = "auto"
+
+#: The ``auto`` backend switches from Python lists to flat ``array('i')``
+#: buffers at this ledger width.  Measured crossover: branch states over
+#: full-width graphs (Quick+, FastQC without decomposition) are copy-bound —
+#: an array copy is one memcpy while a list copy touches every element — so
+#: arrays win; compact DC subproblem states are read-bound and small, where
+#: list indexing's direct object access wins.
+AUTO_ARRAY_MIN_WIDTH = 128
+
+
+def _array_make(values: Iterable[int]) -> array:
+    return array("i", values)
+
+
+def _array_zeros(length: int) -> array:
+    return array("i", bytes(4 * length))
+
+
+def _array_copy(buffer: array) -> array:
+    return buffer[:]
+
+
+def _list_make(values: Iterable[int]) -> list[int]:
+    return list(values)
+
+
+def _list_zeros(length: int) -> list[int]:
+    return [0] * length
+
+
+def _list_copy(buffer: list[int]) -> list[int]:
+    return buffer[:]
+
+
+def _auto_make(values) -> "array | list[int]":
+    values = values if isinstance(values, list) else list(values)
+    if len(values) >= AUTO_ARRAY_MIN_WIDTH:
+        return array("i", values)
+    return values
+
+
+def _auto_zeros(length: int) -> "array | list[int]":
+    if length >= AUTO_ARRAY_MIN_WIDTH:
+        return array("i", bytes(4 * length))
+    return [0] * length
+
+
+def _auto_copy(buffer) -> "array | list[int]":
+    return buffer[:]
+
+
+def _resolve_backend(name: str):
+    """Return ``(name, make, zeros, copy)`` for a backend, falling back safely.
+
+    The numpy backend is optional: when numpy is not installed the resolver
+    warns and degrades to the stdlib ``array('i')`` backend instead of
+    failing, so ``REPRO_KERNEL_BACKEND=numpy`` is always safe to export.
+    """
+    if name == "numpy":
+        try:
+            import numpy
+        except ImportError:
+            warnings.warn("REPRO_KERNEL_BACKEND=numpy requested but numpy is "
+                          "not installed; falling back to the array backend",
+                          RuntimeWarning, stacklevel=3)
+            return _resolve_backend("array")
+        return ("numpy",
+                lambda values: numpy.fromiter(values, dtype=numpy.int64),
+                lambda length: numpy.zeros(length, dtype=numpy.int64),
+                lambda buffer: buffer.copy())
+    if name == "list":
+        return ("list", _list_make, _list_zeros, _list_copy)
+    if name == "array":
+        return ("array", _array_make, _array_zeros, _array_copy)
+    if name != "auto":
+        warnings.warn(f"unknown REPRO_KERNEL_BACKEND {name!r}; expected one of "
+                      f"{LEDGER_BACKENDS}; falling back to the auto backend",
+                      RuntimeWarning, stacklevel=3)
+    return ("auto", _auto_make, _auto_zeros, _auto_copy)
+
+
+_BACKEND_NAME, _make_ledger, _zero_ledger, _copy_ledger = _resolve_backend(
+    os.environ.get("REPRO_KERNEL_BACKEND", DEFAULT_LEDGER_BACKEND))
+
+
+def ledger_backend() -> str:
+    """The active ledger buffer backend (``"array"``, ``"numpy"`` or ``"list"``)."""
+    return _BACKEND_NAME
+
+
+def set_ledger_backend(name: str) -> str:
+    """Switch the ledger buffer backend; returns the previous backend name.
+
+    The normal configuration surface is the ``REPRO_KERNEL_BACKEND``
+    environment variable (read once at import); this setter exists for tests
+    and interactive experiments.  Buffers created before the switch keep
+    working — the backends only differ in construction and copy.
+    """
+    global _BACKEND_NAME, _make_ledger, _zero_ledger, _copy_ledger
+    previous = _BACKEND_NAME
+    _BACKEND_NAME, _make_ledger, _zero_ledger, _copy_ledger = _resolve_backend(name)
+    return previous
+
+
 class BranchState:
     """A branch ``(S, C, D)`` carrying incremental degree ledgers.
 
     The masks mirror :class:`repro.core.branch.Branch` (same index space, same
-    invariants); on top of them the state maintains, for **every** vertex of
-    the graph, ``deg_in_s[v]`` and ``deg_in_union[v]`` — the number of
-    neighbours of ``v`` inside ``S`` and inside ``S ∪ C``.  Ledger entries of
-    vertices outside ``S ∪ C`` are kept up to date too (the updates are
-    symmetric), but never read.
+    invariants); on top of them the state maintains, for every member of the
+    union, ``deg_in_s[v]`` and ``deg_in_union[v]`` — the number of neighbours
+    of ``v`` inside ``S`` and inside ``S ∪ C``.  Ledger entries of vertices
+    outside ``S ∪ C`` are never read: single-vertex moves update them anyway
+    (the updates are symmetric), while :meth:`remove_mask`'s mass-removal
+    path deliberately lets them go stale.
 
-    States are mutable; :meth:`copy` is an O(n) pointer copy used when a
+    States are mutable; :meth:`copy` is an O(n) flat-buffer copy used when a
     branch forks into children, after which each single-vertex move costs
-    ``O(deg(v))``.
+    ``O(deg(v))``.  The ledgers live in flat buffers provided by the active
+    backend (``array('i')`` by default, numpy or plain lists via
+    ``REPRO_KERNEL_BACKEND``), so the per-child copy is a memcpy rather than
+    a pointer-by-pointer Python list copy.
     """
 
     __slots__ = ("graph", "stats", "s_mask", "c_mask", "d_mask",
@@ -64,7 +192,7 @@ class BranchState:
     def __init__(self, graph: Graph, stats: SearchStatistics | None,
                  s_mask: int, c_mask: int, d_mask: int,
                  s_size: int, c_size: int,
-                 deg_in_s: list[int], deg_in_union: list[int]) -> None:
+                 deg_in_s, deg_in_union) -> None:
         self.graph = graph
         self.stats = stats
         self.s_mask = s_mask
@@ -95,13 +223,14 @@ class BranchState:
                 deg_in_s[v] = (adjacency & s_mask).bit_count()
         return cls(graph, stats, s_mask, branch.c_mask, branch.d_mask,
                    branch.partial_size, branch.candidate_size,
-                   deg_in_s, deg_in_union)
+                   _make_ledger(deg_in_s), _make_ledger(deg_in_union))
 
     def copy(self) -> "BranchState":
-        """Fork the state (ledger lists are copied, the graph is shared)."""
+        """Fork the state (ledger buffers are copied, the graph is shared)."""
         return BranchState(self.graph, self.stats, self.s_mask, self.c_mask,
                           self.d_mask, self.s_size, self.c_size,
-                          list(self.deg_in_s), list(self.deg_in_union))
+                          _copy_ledger(self.deg_in_s),
+                          _copy_ledger(self.deg_in_union))
 
     def to_branch(self) -> Branch:
         """The immutable mask view (reference interop, tests, diagnostics)."""
@@ -111,26 +240,36 @@ class BranchState:
     # O(deg) vertex moves
     # ------------------------------------------------------------------
     def include(self, vertex: int) -> None:
-        """Move a candidate into S: only ``deg_in_s`` of its neighbours changes."""
+        """Move a candidate into S: only ``deg_in_s`` of its neighbours changes.
+
+        The update walk is restricted to neighbours still inside the union —
+        entries of vertices that left the union are stale by contract (no
+        rule reads them, and a vertex never re-enters the union).
+        """
         bit = 1 << vertex
         self.s_mask |= bit
         self.c_mask &= ~bit
         self.s_size += 1
         self.c_size -= 1
         deg_in_s = self.deg_in_s
-        neighbours = self.graph.adjacency_set(vertex)
-        for u in neighbours:
-            deg_in_s[u] += 1
+        bit_length = int.bit_length
+        updates = 0
+        remaining = self.graph.adjacency_mask(vertex) & (self.s_mask | self.c_mask)
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            deg_in_s[bit_length(low) - 1] += 1
+            updates += 1
         stats = self.stats
         if stats is not None:
             stats.ledger_moves += 1
-            stats.ledger_updates += len(neighbours)
+            stats.ledger_updates += updates
 
     def remove(self, vertex: int, exclude: bool = False) -> None:
         """Drop a candidate from the union (to D when ``exclude``, else to X).
 
-        Only ``deg_in_union`` of its neighbours changes; ``deg_in_s`` is
-        untouched because the vertex was not in S.
+        Only ``deg_in_union`` of its still-in-union neighbours changes;
+        ``deg_in_s`` is untouched because the vertex was not in S.
         """
         bit = 1 << vertex
         self.c_mask &= ~bit
@@ -138,13 +277,68 @@ class BranchState:
         if exclude:
             self.d_mask |= bit
         deg_in_union = self.deg_in_union
-        neighbours = self.graph.adjacency_set(vertex)
-        for u in neighbours:
-            deg_in_union[u] -= 1
+        bit_length = int.bit_length
+        updates = 0
+        remaining = self.graph.adjacency_mask(vertex) & (self.s_mask | self.c_mask)
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            deg_in_union[bit_length(low) - 1] -= 1
+            updates += 1
         stats = self.stats
         if stats is not None:
             stats.ledger_moves += 1
-            stats.ledger_updates += len(neighbours)
+            stats.ledger_updates += updates
+
+    def remove_mask(self, removal_mask: int) -> None:
+        """Drop a batch of candidates to X in one call (mass-pruning fast path).
+
+        Decides identically to ``remove(v)`` for each set bit, with the mask
+        update and the statistics accounting batched — and with the ledger
+        maintenance **adaptive**: when the batch drops most of the union
+        (FastQC's refinement and Quick+'s Type I rules routinely gut a
+        child's candidate set), recomputing the survivors' ``deg_in_union``
+        with one restricted popcount each is far cheaper than walking every
+        dropped vertex's neighbourhood.  The recompute path leaves ledger
+        entries of vertices *outside* the union stale, which is safe: no
+        rule reads them, and a vertex that left the union never re-enters
+        it.  ``deg_in_s`` is untouched either way (the batch leaves S
+        alone).
+        """
+        deg_in_union = self.deg_in_union
+        self.c_mask &= ~removal_mask
+        dropped = removal_mask.bit_count()
+        self.c_size -= dropped
+        union_size = self.s_size + self.c_size
+        bit_length = int.bit_length
+        if dropped * 3 >= union_size:
+            masks = self.graph.adjacency_masks()
+            union = self.s_mask | self.c_mask
+            remaining = union
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                v = bit_length(low) - 1
+                deg_in_union[v] = (masks[v] & union).bit_count()
+            updates = union_size
+        else:
+            masks = self.graph.adjacency_masks()
+            union = self.s_mask | self.c_mask
+            updates = 0
+            remaining = removal_mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                walk = masks[bit_length(low) - 1] & union
+                while walk:
+                    bit = walk & -walk
+                    walk ^= bit
+                    deg_in_union[bit_length(bit) - 1] -= 1
+                    updates += 1
+        stats = self.stats
+        if stats is not None:
+            stats.ledger_moves += dropped
+            stats.ledger_updates += updates
 
     # ------------------------------------------------------------------
     # Derived views (used by tests and the emit path)
@@ -186,6 +380,7 @@ def refine_state(state: BranchState, gamma: float, theta: int,
     deg_in_s = state.deg_in_s
     deg_in_union = state.deg_in_union
     masks = state.graph.adjacency_masks()
+    bit_length = int.bit_length
     while True:
         rounds += 1
         s_size = state.s_size
@@ -196,7 +391,11 @@ def refine_state(state: BranchState, gamma: float, theta: int,
         else:
             min_deg_s = s_size
             min_deg_u = union_size
-            for v in iter_bits(state.s_mask):
+            remaining = state.s_mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                v = bit_length(low) - 1
                 ds = deg_in_s[v]
                 if ds < min_deg_s:
                     min_deg_s = ds
@@ -218,28 +417,44 @@ def refine_state(state: BranchState, gamma: float, theta: int,
         # u ∈ S already sitting at the budget is not adjacent to v.
         critical_mask = 0
         if s_size:
-            for u in iter_bits(state.s_mask):
-                if s_size - deg_in_s[u] >= tau_value:
-                    critical_mask |= 1 << u
-        removals = []
-        for v in iter_bits(state.c_mask):
-            if s_size - deg_in_s[v] + 1 > tau_value or (critical_mask & ~masks[v]):
-                removals.append(v)
-        removed_rule1 += len(removals)
-        for v in removals:
-            state.remove(v)
+            remaining = state.s_mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                if s_size - deg_in_s[bit_length(low) - 1] >= tau_value:
+                    critical_mask |= low
+        removal_mask = 0
+        threshold = tau_value - 1  # delta_bar(v, S) + 1 > tau  <=>  s - deg > tau - 1
+        remaining = state.c_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            v = bit_length(low) - 1
+            if s_size - deg_in_s[v] > threshold or (critical_mask & ~masks[v]):
+                removal_mask |= low
+        removed_this_round = 0
+        if removal_mask:
+            removed_this_round = removal_mask.bit_count()
+            removed_rule1 += removed_this_round
+            state.remove_mask(removal_mask)
 
         # Rule 2: v ∈ C falls when delta(v, S ∪ C) < theta - tau (the union —
         # hence the ledger — already reflects the Rule 1 removals).
-        removed_this_round = len(removals)
         required = theta - tau_value
         if required > 0:
-            removals = [v for v in iter_bits(state.c_mask)
-                        if deg_in_union[v] < required]
-            removed_rule2 += len(removals)
-            removed_this_round += len(removals)
-            for v in removals:
-                state.remove(v)
+            removal_mask = 0
+            remaining = state.c_mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                v = bit_length(low) - 1
+                if deg_in_union[v] < required:
+                    removal_mask |= low
+            if removal_mask:
+                dropped = removal_mask.bit_count()
+                removed_rule2 += dropped
+                removed_this_round += dropped
+                state.remove_mask(removal_mask)
 
         if removed_this_round == 0:
             return False, tau_value, rounds, removed_rule1, removed_rule2
@@ -277,7 +492,12 @@ def union_min_degree(state: BranchState) -> tuple[int, int]:
     deg_in_union = state.deg_in_union
     best = state.s_size + state.c_size + 1
     best_vertex = -1
-    for v in iter_bits(state.s_mask | state.c_mask):
+    bit_length = int.bit_length
+    remaining = state.s_mask | state.c_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        v = bit_length(low) - 1
         d = deg_in_union[v]
         if d < best:
             best = d
@@ -294,8 +514,12 @@ def terminates_by_theta_state(state: BranchState, theta: int, tau_value: int) ->
     if required <= 0:
         return False
     deg_in_union = state.deg_in_union
-    for v in iter_bits(state.s_mask):
-        if deg_in_union[v] < required:
+    bit_length = int.bit_length
+    remaining = state.s_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        if deg_in_union[bit_length(low) - 1] < required:
             return True
     return False
 
@@ -320,6 +544,64 @@ def pivot_ordering_state(state: BranchState, pivot: PivotInfo) -> list[int]:
     """The candidate ordering induced by the pivot (Equations 15 and 16)."""
     return pivot_ordering_masks(state.graph.adjacency_mask(pivot.vertex),
                                 state.c_mask, pivot)
+
+
+def tau_sigma_state(state: BranchState, gamma: float) -> int:
+    """Ledger form of ``tau(sigma(B))`` (Equations 8 and 10).
+
+    Mirrors :func:`repro.core.conditions.tau_sigma` exactly, evaluated in
+    integer arithmetic over ``gamma = p/q``: with ``sigma = num/den``,
+    ``tau(sigma) = ((q-p)*num + p*den) // (q*den)``.  ``d_min(B)`` comes from
+    one O(|S|) ledger scan instead of per-vertex popcounts.
+    """
+    gamma_exact = gamma_fraction(gamma)
+    p = gamma_exact.numerator
+    q = gamma_exact.denominator
+    union_size = state.s_size + state.c_size
+    if state.s_size == 0:
+        sigma_num, sigma_den = union_size, 1
+    else:
+        deg_in_union = state.deg_in_union
+        bit_length = int.bit_length
+        min_deg = union_size
+        remaining = state.s_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            d = deg_in_union[bit_length(low) - 1]
+            if d < min_deg:
+                min_deg = d
+        alt_num = min_deg * q + p          # (d_min*q + p) / p
+        if union_size * p <= alt_num:
+            sigma_num, sigma_den = union_size, 1
+        else:
+            sigma_num, sigma_den = alt_num, p
+    return ((q - p) * sigma_num + p * sigma_den) // (q * sigma_den)
+
+
+def partial_is_quasi_clique_state(state: BranchState, gamma: float) -> bool:
+    """Ledger form of ``mask_is_quasi_clique(graph, S, gamma)`` (Lemma 1).
+
+    ``Delta(S) = |S| - min deg_in_s`` and ``tau(|S|)`` are both integer
+    expressions over the ledgers, so the check is one O(|S|) scan.
+    """
+    s_size = state.s_size
+    if s_size == 0:
+        return False
+    gamma_exact = gamma_fraction(gamma)
+    p = gamma_exact.numerator
+    q = gamma_exact.denominator
+    deg_in_s = state.deg_in_s
+    bit_length = int.bit_length
+    min_deg = s_size
+    remaining = state.s_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        d = deg_in_s[bit_length(low) - 1]
+        if d < min_deg:
+            min_deg = d
+    return s_size - min_deg <= ((q - p) * s_size + p) // q
 
 
 # ----------------------------------------------------------------------
@@ -379,6 +661,329 @@ def generate_child_states(state: BranchState, pivot: PivotInfo,
             return excluding + including
         return sym_se_children(state, ordering, keep=sym_keep)
     raise ValueError(f"unknown branching method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Kernelized subproblem shrinking (mirrors DCFastQC._one_hop_prune /
+# _two_hop_prune, Lines 5-6 of Algorithm 3)
+# ----------------------------------------------------------------------
+class ShrinkLedgers:
+    """Adaptive degree / common-neighbour ledgers for subproblem shrinking.
+
+    Mirrors ``DCFastQC._one_hop_prune`` / ``_two_hop_prune`` bit-for-bit while
+    eliminating redundant full-width popcount rescans:
+
+    * The **first** pass of each rule runs store-free: one restricted popcount
+      per scanned vertex, fused with the removal decision, in a tight
+      bit-extraction loop.  On a fresh 2-hop ball this pass typically removes
+      most members, so recording per-vertex values would be wasted work.
+    * From each rule's **second** pass on, the values live in dense flat
+      buffers (same backend as :class:`BranchState`) that are reconciled with
+      the alive set lazily: few deaths since the last reconcile decrement only
+      the dead vertices' still-alive neighbours (``O(deg ∩ ball)`` per death),
+      a gutted ball recomputes the few survivors fused into the reading pass,
+      and a pass over an unchanged alive set is pure array reads — the
+      "round ``k+1`` never re-popcounts what round ``k`` established" path.
+    Every pass collects its removals before applying any of them, so the
+    surviving vertex set is exactly the one the mask-based reference produces
+    (each pass is a simultaneous removal against the pass-start set).
+    Entries of dead vertices (and of the root, which no rule ever tests) are
+    stale by design.
+    """
+
+    __slots__ = ("graph", "stats", "root_clear", "root_adjacency",
+                 "alive_mask", "alive_count", "deg", "common", "fresh_mask",
+                 "common_seeded", "track_common", "_deg_passes",
+                 "_common_passes")
+
+    def __init__(self, graph: Graph, root_index: int, ball_mask: int,
+                 stats: SearchStatistics | None = None,
+                 track_common: bool = True) -> None:
+        self.graph = graph
+        self.stats = stats
+        self.root_clear = ~(1 << root_index)
+        self.root_adjacency = graph.adjacency_mask(root_index)
+        self.alive_mask = ball_mask
+        self.alive_count = ball_mask.bit_count()
+        self.track_common = track_common
+        # Buffers allocate lazily: balls whose shrinking finishes within the
+        # store-free first passes never pay for them.
+        self.deg = None
+        self.common = None
+        # None: the ledgers have never been seeded.  Otherwise: the alive mask
+        # the degree ledger (and the common ledger, when ``common_seeded``)
+        # was last reconciled against.
+        self.fresh_mask = None
+        self.common_seeded = False
+        self._deg_passes = 0
+        self._common_passes = 0
+
+    # ------------------------------------------------------------------
+    # Removal application and freshness bookkeeping
+    # ------------------------------------------------------------------
+    def remove_vertices(self, removals) -> None:
+        """Clear removed bits; ledgers go stale until the next reconcile."""
+        alive = self.alive_mask
+        count = 0
+        for v in removals:
+            alive &= ~(1 << v)
+            count += 1
+        self.alive_mask = alive
+        self.alive_count -= count
+
+    def _needs_reseed(self) -> bool:
+        """True when reconciling should recompute survivors outright (never
+        seeded, or a mass removal made decrements the dearer option)."""
+        fresh = self.fresh_mask
+        if fresh is None:
+            return True
+        dead = (fresh & ~self.alive_mask).bit_count()
+        return dead * 3 >= self.alive_count
+
+    def _decrement_walk(self) -> None:
+        """Reconcile the ledgers by walking the dead vertices' neighbours."""
+        alive = self.alive_mask
+        masks = self.graph.adjacency_masks()
+        deg = self.deg
+        common = self.common
+        update_common = self.common_seeded
+        root_adjacency = self.root_adjacency
+        updates = 0
+        dead = self.fresh_mask & ~alive
+        while dead:
+            low = dead & -dead
+            v = low.bit_length() - 1
+            dead ^= low
+            drop_common = update_common and low & root_adjacency
+            remaining = masks[v] & alive
+            while remaining:
+                bit = remaining & -remaining
+                u = bit.bit_length() - 1
+                remaining ^= bit
+                deg[u] -= 1
+                if drop_common:
+                    # v stops being a common neighbour of the root and u.
+                    common[u] -= 1
+                updates += 1
+        self.fresh_mask = alive
+        if self.stats is not None:
+            self.stats.shrink_ledger_updates += updates
+
+    def refresh(self) -> None:
+        """Force the ledgers fresh against the current alive set (seeds them
+        on first use).  The pruning passes prefer fusing a reseed into their
+        own scan; this is the standalone hook for tests and direct users."""
+        alive = self.alive_mask
+        if self.fresh_mask == alive and (self.common_seeded
+                                         or not self.track_common):
+            return
+        if self.fresh_mask is not None and not self._needs_reseed() and (
+                self.common_seeded or not self.track_common):
+            self._decrement_walk()
+            return
+        self._reseed(alive)
+
+    def _reseed(self, alive: int) -> None:
+        """Recompute both ledgers for every alive vertex (fused popcounts)."""
+        masks = self.graph.adjacency_masks()
+        if self.deg is None:
+            self.deg = _zero_ledger(self.graph.vertex_count)
+        deg = self.deg
+        common = None
+        if self.track_common:
+            if self.common is None:
+                self.common = _zero_ledger(self.graph.vertex_count)
+            common = self.common
+        root_alive = self.root_adjacency & alive
+        updates = 0
+        remaining = alive
+        while remaining:
+            low = remaining & -remaining
+            v = low.bit_length() - 1
+            remaining ^= low
+            restricted = masks[v] & alive
+            deg[v] = restricted.bit_count()
+            if common is not None:
+                common[v] = (restricted & root_alive).bit_count()
+            updates += 1
+        self.fresh_mask = alive
+        if common is not None:
+            self.common_seeded = True
+        if self.stats is not None:
+            self.stats.shrink_ledger_updates += updates
+
+    # ------------------------------------------------------------------
+    # Pruning passes
+    # ------------------------------------------------------------------
+    def one_hop_round(self, required_degree: int) -> int:
+        """One simultaneous pass of the one-hop (degree) pruning rule."""
+        alive = self.alive_mask
+        scan = alive & self.root_clear
+        removals = []
+        if self.fresh_mask == alive:
+            deg = self.deg
+            while scan:
+                low = scan & -scan
+                v = low.bit_length() - 1
+                scan ^= low
+                if deg[v] < required_degree:
+                    removals.append(v)
+        elif self.fresh_mask is not None and not self._needs_reseed():
+            self._decrement_walk()
+            deg = self.deg
+            while scan:
+                low = scan & -scan
+                v = low.bit_length() - 1
+                scan ^= low
+                if deg[v] < required_degree:
+                    removals.append(v)
+        elif self._deg_passes == 0:
+            # First pass: store-free fused popcount + decide (the hottest
+            # loop of the shrinking phase — everything prebound).
+            masks = self.graph.adjacency_masks()
+            bit_length = int.bit_length
+            bit_count = int.bit_count
+            append = removals.append
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                v = bit_length(low) - 1
+                if bit_count(masks[v] & alive) < required_degree:
+                    append(v)
+        else:
+            self._reseed(alive)
+            deg = self.deg
+            while scan:
+                low = scan & -scan
+                v = low.bit_length() - 1
+                scan ^= low
+                if deg[v] < required_degree:
+                    removals.append(v)
+        self._deg_passes += 1
+        if removals:
+            self.remove_vertices(removals)
+        return len(removals)
+
+    def _two_hop_bulk(self, scan: int, threshold: int,
+                      threshold_plus: int) -> int:
+        """Bit-sliced two-hop pass: return the mask of vertices to remove.
+
+        Accumulates, for every graph vertex simultaneously, the count
+        ``|Γ(v) ∩ R|`` (``R = Γ(root) ∩ alive``) in vertical binary counter
+        planes: adding one ``w ∈ R`` is a ripple-carry over ``k`` full-width
+        masks, so the whole pass costs ``O(|R| * k)`` big-int operations with
+        ``k = (threshold + 2).bit_length()``, independent of the scan size.
+        The comparison against the two thresholds is plane logic; saturated
+        counters (``>= 2**k > threshold_plus``) always survive.
+        """
+        if threshold_plus <= 0:
+            return 0
+        root_adjacency = self.root_adjacency
+        k = threshold_plus.bit_length()
+        planes = [0] * k
+        sat = 0
+        masks = self.graph.adjacency_masks()
+        members = root_adjacency & self.alive_mask
+        while members:
+            low = members & -members
+            members ^= low
+            carry = masks[low.bit_length() - 1]
+            for i in range(k):
+                plane = planes[i]
+                planes[i] = plane ^ carry
+                carry &= plane
+                if not carry:
+                    break
+            else:
+                sat |= carry
+        removed = 0
+        non_adjacent = scan & ~root_adjacency
+        if non_adjacent:
+            removed = non_adjacent & ~self._ge_mask(planes, sat, threshold_plus)
+        if threshold > 0:
+            adjacent = scan & root_adjacency
+            if adjacent:
+                removed |= adjacent & ~self._ge_mask(planes, sat, threshold)
+        return removed
+
+    @staticmethod
+    def _ge_mask(planes: list[int], sat: int, value: int) -> int:
+        """Positions whose plane-encoded counter is ``>= value`` (value >= 1).
+
+        Standard bitwise magnitude comparison, most significant plane first;
+        ``value`` must be representable in ``len(planes)`` bits.
+        """
+        greater = 0
+        equal = -1  # arbitrary-precision all-ones
+        for i in range(len(planes) - 1, -1, -1):
+            plane = planes[i]
+            if (value >> i) & 1:
+                equal &= plane
+            else:
+                greater |= equal & plane
+        return greater | equal | sat
+
+    def two_hop_round(self, threshold: int) -> int:
+        """One simultaneous pass of the two-hop (common-neighbour) rule.
+
+        ``threshold`` applies to root neighbours; non-neighbours of the root
+        need two more common neighbours (the intermediate vertices of two
+        disjoint 2-hop paths), exactly as in the mask-based rule.
+        """
+        alive = self.alive_mask
+        root_adjacency = self.root_adjacency
+        threshold_plus = threshold + 2
+        scan = alive & self.root_clear
+        removals = []
+        if self.common_seeded and self.fresh_mask == alive:
+            common = self.common
+            while scan:
+                low = scan & -scan
+                v = low.bit_length() - 1
+                scan ^= low
+                if common[v] < (threshold if low & root_adjacency
+                                else threshold_plus):
+                    removals.append(v)
+        elif self.common_seeded and not self._needs_reseed():
+            self._decrement_walk()
+            common = self.common
+            while scan:
+                low = scan & -scan
+                v = low.bit_length() - 1
+                scan ^= low
+                if common[v] < (threshold if low & root_adjacency
+                                else threshold_plus):
+                    removals.append(v)
+        elif self._common_passes == 0:
+            # First pass, bit-sliced: common(v) = |Γ(v) ∩ R| with
+            # R = Γ(root) ∩ alive.  R is small (it is bounded by the root's
+            # degree), so instead of one popcount per scanned member we add
+            # each w ∈ R's adjacency mask into binary counter planes — one
+            # vertical counter per graph vertex, O(|R| * log threshold)
+            # full-width mask operations total — and read off the removal
+            # set with plane logic.  No per-member loop at all.
+            self._common_passes += 1
+            removed_mask = self._two_hop_bulk(scan, threshold, threshold_plus)
+            if removed_mask:
+                self.alive_mask = alive & ~removed_mask
+                dropped = removed_mask.bit_count()
+                self.alive_count -= dropped
+                return dropped
+            return 0
+        else:
+            self._reseed(alive)
+            common = self.common
+            while scan:
+                low = scan & -scan
+                v = low.bit_length() - 1
+                scan ^= low
+                if common[v] < (threshold if low & root_adjacency
+                                else threshold_plus):
+                    removals.append(v)
+        self._common_passes += 1
+        if removals:
+            self.remove_vertices(removals)
+        return len(removals)
 
 
 # ----------------------------------------------------------------------

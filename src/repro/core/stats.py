@@ -75,6 +75,13 @@ class SearchStatistics:
     #: neighbour ledger entries touched (0 for the mask-based reference path).
     ledger_moves: int = 0
     ledger_updates: int = 0
+    #: Kernelized subproblem shrinking (DCFastQC ledger path only): pruning
+    #: rounds run, vertices dropped per rule, and the neighbour ledger entries
+    #: decremented while doing so (0 for the mask-based reference shrinking).
+    shrink_rounds: int = 0
+    shrink_removed_one_hop: int = 0
+    shrink_removed_two_hop: int = 0
+    shrink_ledger_updates: int = 0
     subproblem_sizes: SizeHistogram = field(default_factory=SizeHistogram)
 
     def as_dict(self) -> dict:
@@ -97,4 +104,8 @@ class SearchStatistics:
         self.subproblems += other.subproblems
         self.ledger_moves += other.ledger_moves
         self.ledger_updates += other.ledger_updates
+        self.shrink_rounds += other.shrink_rounds
+        self.shrink_removed_one_hop += other.shrink_removed_one_hop
+        self.shrink_removed_two_hop += other.shrink_removed_two_hop
+        self.shrink_ledger_updates += other.shrink_ledger_updates
         self.subproblem_sizes.merge(other.subproblem_sizes)

@@ -185,9 +185,10 @@ class QueryPlanner:
         else:
             reasons.append(f"branching {branching!r} forced by the caller")
 
-        if kernel == "ledger" and chosen in ("dcfastqc", "fastqc"):
-            reasons.append("ledger kernel: incremental O(deg) degree ledgers over "
-                           "compact subproblem index spaces (no popcount rescans)")
+        if kernel == "ledger" and chosen in ("dcfastqc", "fastqc", "quickplus"):
+            reasons.append("ledger kernel: incremental O(deg) degree ledgers "
+                           "(kernelized shrinking, refinement and Type I/II "
+                           "pruning — no popcount rescans)")
         elif kernel == "reference":
             reasons.append("reference kernel forced: mask/popcount implementation "
                            "(differential-testing oracle)")

@@ -16,11 +16,12 @@ bitmasks.  Workers therefore deserialise and enumerate graphs whose bitmask
 and ledger widths track the subproblem size, not the input graph — a few
 tuples of small ints per task instead of the whole edge list per worker.
 
-Workers apply the maximality necessary-condition filter within their
-subproblem graph only (they never see the full graph), so a worker may emit a
-few more non-maximal candidates than the sequential driver; the MQCE-S2
-set-trie filter removes them, and :meth:`ParallelDCFastQC.find_maximal` is
-exactly the sequential answer.
+Each payload also carries the subproblem's **one-hop maximality halo** (the
+outside neighbours of the ball with their adjacency into it), so workers apply
+the maximality necessary-condition filter against exactly the evidence the
+sequential driver's full-graph check would consult: the emitted candidate sets
+are identical to the sequential driver's, batch for batch, not merely after
+the MQCE-S2 set-trie filter.
 """
 
 from __future__ import annotations
@@ -56,11 +57,20 @@ def _initialise_worker(config: _WorkerConfig) -> None:
 
 
 def _run_subproblem(subproblem: CompactSubproblem) -> list[frozenset]:
-    """Enumerate one compact DC subproblem inside a worker process."""
+    """Enumerate one compact DC subproblem inside a worker process.
+
+    The maximality filter checks single-vertex extensions against the ball
+    plus its one-hop halo, which decides exactly like the sequential driver's
+    full-graph check (any extension vertex is adjacent to the candidate set,
+    hence inside ball ∪ halo).
+    """
     config: _WorkerConfig = _WORKER_STATE["config"]
     graph = subproblem.build_graph()
+    maximality = (subproblem.build_maximality_graph()
+                  if subproblem.halo_labels else graph)
     engine = FastQC(graph, config.gamma, config.theta,
-                    branching=config.branching, kernel=config.kernel)
+                    branching=config.branching, kernel=config.kernel,
+                    maximality_graph=maximality)
     return engine.enumerate_branch(subproblem.initial_branch())
 
 

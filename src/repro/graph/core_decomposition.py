@@ -52,7 +52,8 @@ def _degeneracy_order_and_cores(graph: Graph) -> tuple[list[VertexLabel], dict[V
     n = graph.vertex_count
     if n == 0:
         return [], {}
-    degrees = [len(graph.adjacency_set(i)) for i in range(n)]
+    masks = graph.adjacency_masks()
+    degrees = [mask.bit_count() for mask in masks]
     max_degree = max(degrees)
     buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
     for index, degree in enumerate(degrees):
@@ -64,6 +65,7 @@ def _degeneracy_order_and_cores(graph: Graph) -> tuple[list[VertexLabel], dict[V
     current_core = 0
     pointer = 0
     removed = 0
+    bit_length = int.bit_length
     while removed < n:
         # Find the non-empty bucket with the smallest degree.
         while pointer <= max_degree and not buckets[pointer]:
@@ -77,7 +79,17 @@ def _degeneracy_order_and_cores(graph: Graph) -> tuple[list[VertexLabel], dict[V
         current_core = max(current_core, pointer)
         core_of_index[vertex] = current_core
         order_indices.append(vertex)
-        for neighbour in graph.adjacency_set(vertex):
+        # Neighbour walks run over the adjacency bitmask in ascending index
+        # order, so the ordering is a pure function of the graph's *content*
+        # — identically-built graphs (e.g. an induced subgraph vs a compact
+        # remap of the same vertex set) order identically, whereas Python
+        # set iteration would leak each graph object's insertion history
+        # into the tie-breaks.
+        remaining = masks[vertex]
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            neighbour = bit_length(low) - 1
             if position_removed[neighbour]:
                 continue
             current_degree[neighbour] -= 1

@@ -199,14 +199,15 @@ class Graph:
         subgraphs — it installs adjacency wholesale instead of re-inserting
         every edge through :meth:`add_edge`.
         """
-        graph = cls(vertices=labels)
-        half_degrees = 0
-        for index, mask in enumerate(adjacency_masks):
-            graph._adjacency_masks[index] = mask
-            graph._adjacency_sets[index] = set(iter_bits(mask))
-            half_degrees += mask.bit_count()
-        graph._edge_count = half_degrees // 2
-        graph._version += 1
+        graph = cls()
+        labels = list(labels)
+        graph._labels = labels
+        graph._index_of = {label: index for index, label in enumerate(labels)}
+        masks = list(adjacency_masks)
+        graph._adjacency_masks = masks
+        graph._adjacency_sets = [set(iter_bits(mask)) for mask in masks]
+        graph._edge_count = sum(mask.bit_count() for mask in masks) // 2
+        graph._version = 1
         return graph
 
     # ------------------------------------------------------------------

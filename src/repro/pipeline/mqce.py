@@ -61,11 +61,12 @@ def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "d
 
     ``branching`` defaults to ``"hybrid"`` for FastQC/DCFastQC and ``"se"`` for
     Quick+, matching the paper's configurations.  ``kernel`` selects the
-    FastQC-family execution kernel (``"ledger"`` incremental branch states or
-    the mask-based ``"reference"``); Quick+ and the naive baseline always use
-    their original mask implementations.  ``on_output`` and ``should_stop``
-    feed the streaming/cancellation path; the naive baseline ignores both (it
-    materialises its answer in one exhaustive pass).
+    execution kernel shared by all three branch-and-bound algorithms
+    (``"ledger"`` incremental branch states or the mask-based
+    ``"reference"``); only the naive baseline has no kernelized form.
+    ``on_output`` and ``should_stop`` feed the streaming/cancellation path;
+    the naive baseline ignores both (it materialises its answer in one
+    exhaustive pass).
     """
     validate_parameters(gamma, theta)
     if algorithm == "dcfastqc":
@@ -79,6 +80,7 @@ def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "d
                       on_output=on_output, should_stop=should_stop)
     if algorithm == "quickplus":
         return QuickPlus(graph, gamma, theta, branching=branching or "se",
+                         kernel=kernel,
                          on_output=on_output, should_stop=should_stop)
     if algorithm == "naive":
         return NaiveEnumerator(graph, gamma, theta)

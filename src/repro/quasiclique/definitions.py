@@ -52,11 +52,25 @@ def gamma_fraction(gamma: float) -> Fraction:
     return Fraction(str(gamma))
 
 
+@lru_cache(maxsize=None)
+def gamma_pq(gamma: float) -> tuple[int, int]:
+    """Return ``gamma`` as the integer pair ``(p, q)`` with ``gamma = p/q``.
+
+    The hot loops evaluate every threshold in plain integer arithmetic
+    (``tau(x) = ((q-p)*x + p) // q`` for integer ``x``, degree comparisons via
+    cross-multiplication) instead of allocating :class:`fractions.Fraction`
+    objects; this helper hands them the exact numerator/denominator once.
+    """
+    exact = gamma_fraction(gamma)
+    return exact.numerator, exact.denominator
+
+
 def degree_threshold(gamma: float, size: int) -> int:
     """Return ``ceil(gamma * (size - 1))``, the minimum internal degree in a QC of that size."""
     if size <= 1:
         return 0
-    return math.ceil(gamma_fraction(gamma) * (size - 1))
+    p, q = gamma_pq(gamma)
+    return (p * (size - 1) + q - 1) // q
 
 
 def tau(size, gamma: float) -> int:
@@ -69,8 +83,12 @@ def tau(size, gamma: float) -> int:
     """
     if size < 0:
         return 0
+    if isinstance(size, int):
+        # Integer fast path: floor(((q-p)*x + p) / q), no Fraction allocations.
+        p, q = gamma_pq(gamma)
+        return ((q - p) * size + p) // q
     gamma_exact = gamma_fraction(gamma)
-    size_exact = size if isinstance(size, (int, Fraction)) else Fraction(size)
+    size_exact = size if isinstance(size, Fraction) else Fraction(size)
     return math.floor((1 - gamma_exact) * size_exact + gamma_exact)
 
 

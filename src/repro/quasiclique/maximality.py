@@ -58,24 +58,58 @@ def mask_satisfies_maximality_necessary_condition(graph: Graph, subset_mask: int
     condition alone forces connectivity, so ``G[H ∪ {v}]`` is a quasi-clique
     iff every member of ``H ∪ {v}`` has at least ``ceil(gamma * |H|)``
     neighbours inside it.  This is the hot emission-path check of the ledger
-    kernel: all popcounts run over the (possibly compact) graph's own width,
-    and a candidate is rejected as soon as one member falls short.
+    kernel.  The degree filter over the extension candidates is bit-sliced:
+    ``|Γ(v) ∩ H|`` is accumulated for every vertex simultaneously in binary
+    counter planes (one ripple-carry add per member of ``H``), so candidates
+    below the degree requirement never cost a per-vertex popcount; only the
+    few survivors run the exact per-member verification.
     """
     if subset_mask == 0:
         return True
     masks = graph.adjacency_masks()
     members = list(iter_bits(subset_mask))
     required = degree_threshold(gamma, len(members) + 1)
-    neighbourhood = 0
-    for v in members:
-        neighbourhood |= masks[v]
-    for v in iter_bits(neighbourhood & ~subset_mask):
-        adjacency = masks[v]
-        if (adjacency & subset_mask).bit_count() < required:
-            continue
-        extended = subset_mask | (1 << v)
-        if all((masks[u] & extended).bit_count() >= required for u in members):
-            return False  # v extends H to a larger quasi-clique
+    if required <= 0:
+        candidates = 0
+        neighbourhood = 0
+        for u in members:
+            neighbourhood |= masks[u]
+        candidates = neighbourhood & ~subset_mask
+    else:
+        # Vertical counters: plane i holds bit i of |Γ(v) ∩ H| per vertex v.
+        planes = [0] * required.bit_length()
+        sat = 0
+        top = len(planes) - 1
+        for u in members:
+            carry = masks[u]
+            for i, plane in enumerate(planes):
+                planes[i] = plane ^ carry
+                carry &= plane
+                if not carry:
+                    break
+            else:
+                sat |= carry
+        # candidates: vertices outside H with counter >= required.
+        greater = 0
+        equal = -1
+        for i in range(top, -1, -1):
+            if (required >> i) & 1:
+                equal &= planes[i]
+            else:
+                greater |= equal & planes[i]
+        candidates = (greater | equal | sat) & ~subset_mask
+    bit_length = int.bit_length
+    bit_count = int.bit_count
+    while candidates:
+        low = candidates & -candidates
+        candidates ^= low
+        extended = subset_mask | low
+        for u in members:
+            if bit_count(masks[u] & extended) < required:
+                break
+        else:
+            # The candidate itself passed the degree filter already.
+            return False  # it extends H to a larger quasi-clique
     return True
 
 

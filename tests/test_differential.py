@@ -56,6 +56,10 @@ EXECUTORS = {
     "quickplus": lambda graph, gamma, theta: run_enumeration(
         graph, QuerySpec(gamma=gamma, theta=theta, algorithm="quickplus")
     ).maximal_quasi_cliques,
+    "quickplus-reference": lambda graph, gamma, theta: run_enumeration(
+        graph, QuerySpec(gamma=gamma, theta=theta, algorithm="quickplus",
+                         kernel="reference")
+    ).maximal_quasi_cliques,
     "engine-query": lambda graph, gamma, theta: MQCEEngine().query(
         graph, gamma, theta).maximal_quasi_cliques,
     "engine-stream": lambda graph, gamma, theta: canonical_order(
@@ -128,3 +132,27 @@ def test_ledger_kernel_matches_reference_exactly(case_id, algorithm, branching):
     stats = ledger.search_statistics
     if stats.branches_explored > stats.subproblems:
         assert stats.ledger_moves > 0
+
+
+@pytest.mark.parametrize("branching", ["se", "sym-se", "hybrid"])
+@pytest.mark.parametrize("case_id", [case[0] for case in CASES])
+def test_quickplus_ledger_matches_reference_exactly(case_id, branching):
+    """Quick+'s ledger kernel is branch-for-branch equivalent to its
+    mask-based reference for every branching method across the whole
+    gamma/theta grid: identical candidate sequences (pre-MQCE-S2, in
+    emission order), identical maximal answers and identical Type I/II
+    pruning counters."""
+    graph, gamma, theta, _ = _case(case_id)
+    runs = {}
+    for kernel in ("ledger", "reference"):
+        spec = QuerySpec(gamma=gamma, theta=theta, algorithm="quickplus",
+                         branching=branching, kernel=kernel)
+        runs[kernel] = run_enumeration(graph, spec)
+    ledger, reference = runs["ledger"], runs["reference"]
+    assert ledger.candidate_quasi_cliques == reference.candidate_quasi_cliques
+    assert ledger.maximal_quasi_cliques == reference.maximal_quasi_cliques
+    for counter in ("branches_explored", "branches_pruned_by_type2",
+                    "candidates_removed_by_type1", "outputs"):
+        assert (getattr(ledger.search_statistics, counter)
+                == getattr(reference.search_statistics, counter)), counter
+    assert reference.search_statistics.ledger_moves == 0

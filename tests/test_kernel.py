@@ -19,12 +19,18 @@ import sys
 
 import pytest
 
+from repro.core import kernel as kernel_module
 from repro.core.branch import Branch
 from repro.core.branching import BRANCHING_METHODS, generate_branches, select_pivot
-from repro.core.dcfastqc import CompactSubproblem, DCFastQC
+from repro.core.dcfastqc import (
+    CompactSubproblem,
+    DCFastQC,
+    two_hop_pruning_threshold,
+)
 from repro.core.fastqc import FastQC
 from repro.core.kernel import (
     BranchState,
+    ShrinkLedgers,
     depth_first_enumerate,
     generate_child_states,
     pivot_from_state,
@@ -36,7 +42,8 @@ from repro.core.refinement import progressively_refine
 from repro.core.stats import SearchStatistics
 from repro.graph.generators import erdos_renyi_gnm, erdos_renyi_gnp
 from repro.graph.graph import Graph, iter_bits
-from repro.graph.subgraph import compact_subgraph
+from repro.graph.subgraph import compact_subgraph, two_hop_mask
+from repro.quasiclique.definitions import degree_threshold
 
 
 def _random_branch(graph: Graph, rng: random.Random) -> Branch:
@@ -386,6 +393,218 @@ class TestEngineWiring:
         assert ledger.maximal_quasi_cliques == reference.maximal_quasi_cliques
         # Distinct kernels address distinct cache entries (execution knob).
         assert len(engine.cache) == 2
+
+
+class TestShrinkLedgers:
+    """The incremental shrinking ledgers against brute mask recomputation."""
+
+    GRID = [(0.5, 2), (0.7, 3), (0.8, 4), (0.9, 5), (1.0, 3)]
+
+    @staticmethod
+    def _random_ball(graph: Graph, rng: random.Random) -> tuple[int, int]:
+        ball = 0
+        for index in range(graph.vertex_count):
+            if rng.random() < 0.8:
+                ball |= 1 << index
+        if not ball:
+            ball = 1
+        root = rng.choice(list(iter_bits(ball)))
+        return root, ball
+
+    @staticmethod
+    def _assert_fresh_ledgers_match(graph: Graph, ledgers: ShrinkLedgers,
+                                    root: int) -> None:
+        masks = graph.adjacency_masks()
+        alive = ledgers.alive_mask
+        assert ledgers.alive_count == alive.bit_count()
+        root_alive = masks[root] & alive
+        for v in iter_bits(alive):
+            restricted = masks[v] & alive
+            assert ledgers.deg[v] == restricted.bit_count()
+            assert ledgers.common[v] == (restricted & root_alive).bit_count()
+
+    def test_property_random_prune_sequences_match_recomputation(self):
+        """After arbitrary removal batches, a refresh reproduces exactly the
+        degrees and common-neighbour counts recomputed from the masks."""
+        rng = random.Random(123)
+        for trial in range(20):
+            graph = erdos_renyi_gnp(18, rng.uniform(0.2, 0.6), seed=4000 + trial)
+            root, ball = self._random_ball(graph, rng)
+            ledgers = ShrinkLedgers(graph, root, ball)
+            while ledgers.alive_count > 1:
+                pool = [v for v in iter_bits(ledgers.alive_mask) if v != root]
+                if not pool:
+                    break
+                batch = rng.sample(pool, k=rng.randint(1, len(pool)))
+                ledgers.remove_vertices(batch)
+                ledgers.refresh()  # exercises both the walk and reseed paths
+                self._assert_fresh_ledgers_match(graph, ledgers, root)
+
+    def test_rounds_match_mask_rules_pass_for_pass(self):
+        """Random interleavings of one-hop and two-hop passes survive exactly
+        the vertices the mask-based reference rules keep."""
+        rng = random.Random(5)
+        for trial in range(25):
+            graph = erdos_renyi_gnp(16, rng.uniform(0.2, 0.6), seed=4300 + trial)
+            gamma, theta = rng.choice(self.GRID)
+            oracle = DCFastQC(graph, gamma, theta, kernel="reference")
+            required = degree_threshold(gamma, theta)
+            root, ball = self._random_ball(graph, rng)
+            ledgers = ShrinkLedgers(graph, root, ball)
+            for _ in range(4):
+                before = ledgers.alive_count
+                if rng.random() < 0.5:
+                    expected = oracle._one_hop_prune(root, ledgers.alive_mask,
+                                                     required)
+                    removed = ledgers.one_hop_round(required)
+                else:
+                    threshold = two_hop_pruning_threshold(
+                        gamma, theta, ledgers.alive_count)
+                    expected = oracle._two_hop_prune(root, ledgers.alive_mask)
+                    removed = ledgers.two_hop_round(threshold)
+                assert ledgers.alive_mask == expected
+                assert ledgers.alive_count == expected.bit_count()
+                assert removed == before - ledgers.alive_count
+
+    def test_full_shrink_matches_reference_kernel(self):
+        """DCFastQC's ledger shrinking equals the mask rounds bit-for-bit."""
+        rng = random.Random(9)
+        for trial in range(20):
+            graph = erdos_renyi_gnp(20, rng.uniform(0.2, 0.55), seed=4600 + trial)
+            gamma, theta = rng.choice(self.GRID)
+            for framework in ("dc", "basic-dc"):
+                for max_rounds in (0, 1, 2, 4):
+                    ledger = DCFastQC(graph, gamma, theta, framework=framework,
+                                      max_rounds=max_rounds, kernel="ledger")
+                    reference = DCFastQC(graph, gamma, theta, framework=framework,
+                                         max_rounds=max_rounds, kernel="reference")
+                    core = ledger._core_reduction_mask()
+                    for root in iter_bits(core):
+                        ball = two_hop_mask(graph, root, core)
+                        assert (ledger._shrink_subproblem(root, ball)
+                                == reference._shrink_subproblem(root, ball)), (
+                            trial, gamma, theta, framework, max_rounds, root)
+
+    def test_shrink_counters_populated(self):
+        graph = erdos_renyi_gnm(40, 130, seed=71)
+        algo = DCFastQC(graph, 0.8, 4, kernel="ledger")
+        algo.enumerate()
+        stats = algo.statistics
+        assert stats.shrink_rounds > 0
+        reference = DCFastQC(graph, 0.8, 4, kernel="reference")
+        reference.enumerate()
+        assert reference.statistics.shrink_rounds == 0
+        assert reference.statistics.shrink_ledger_updates == 0
+
+
+class TestLedgerBackends:
+    """The flat-buffer backends behind BranchState and ShrinkLedgers."""
+
+    def test_default_is_auto(self):
+        assert kernel_module.DEFAULT_LEDGER_BACKEND == "auto"
+        assert set(kernel_module.LEDGER_BACKENDS) >= {"auto", "array", "list"}
+
+    def test_auto_picks_buffer_type_by_width(self):
+        wide = kernel_module.AUTO_ARRAY_MIN_WIDTH
+        previous = kernel_module.set_ledger_backend("auto")
+        try:
+            import array
+            small = kernel_module._make_ledger([0] * 4)
+            large = kernel_module._make_ledger([0] * wide)
+            assert isinstance(small, list)
+            assert isinstance(large, array.array)
+            assert isinstance(kernel_module._zero_ledger(4), list)
+            assert isinstance(kernel_module._zero_ledger(wide), array.array)
+        finally:
+            kernel_module.set_ledger_backend(previous)
+
+    @pytest.mark.parametrize("backend", ["auto", "array", "list", "numpy"])
+    def test_enumeration_identical_under_every_backend(self, backend):
+        from repro.baselines.quickplus import QuickPlus
+
+        graph = erdos_renyi_gnm(26, 80, seed=61)
+        baseline_fastqc = FastQC(graph, 0.8, 3, kernel="reference").enumerate()
+        baseline_quick = QuickPlus(graph, 0.8, 3, kernel="reference").enumerate()
+        previous = kernel_module.set_ledger_backend(backend)
+        try:
+            assert FastQC(graph, 0.8, 3).enumerate() == baseline_fastqc
+            assert QuickPlus(graph, 0.8, 3).enumerate() == baseline_quick
+            assert DCFastQC(graph, 0.8, 3).enumerate() \
+                == DCFastQC(graph, 0.8, 3, kernel="reference").enumerate()
+        finally:
+            kernel_module.set_ledger_backend(previous)
+
+    def test_unknown_backend_warns_and_falls_back(self):
+        previous = kernel_module.ledger_backend()
+        try:
+            with pytest.warns(RuntimeWarning, match="unknown REPRO_KERNEL_BACKEND"):
+                kernel_module.set_ledger_backend("gpu")
+            assert kernel_module.ledger_backend() == "auto"
+        finally:
+            kernel_module.set_ledger_backend(previous)
+
+    def test_set_ledger_backend_returns_previous(self):
+        previous = kernel_module.set_ledger_backend("list")
+        try:
+            assert kernel_module.ledger_backend() == "list"
+            assert kernel_module.set_ledger_backend(previous) == "list"
+        finally:
+            kernel_module.set_ledger_backend(previous)
+
+
+class TestMaximalityHalo:
+    """CompactSubproblem's one-hop halo reproduces full-graph maximality."""
+
+    def test_payloads_carry_halo(self):
+        graph = erdos_renyi_gnm(40, 120, seed=47)
+        driver = DCFastQC(graph, 0.8, 4)
+        payloads = list(driver.iter_compact_subproblems())
+        assert payloads
+        for payload in payloads:
+            assert len(payload.halo_labels) == len(payload.halo_adjacency)
+            ball = set(payload.labels)
+            # Halo = outside neighbours of ball members, adjacency into ball.
+            expected_halo = set()
+            for label in payload.labels:
+                expected_halo |= graph.neighbors(label)
+            expected_halo -= ball
+            assert set(payload.halo_labels) == expected_halo
+            for label, into_ball in zip(payload.halo_labels, payload.halo_adjacency):
+                neighbours = {payload.labels[i] for i in iter_bits(into_ball)}
+                assert neighbours == graph.neighbors(label) & ball
+
+    def test_maximality_graph_contains_ball_and_halo_edges(self):
+        graph = erdos_renyi_gnm(30, 90, seed=48)
+        driver = DCFastQC(graph, 0.8, 3)
+        payload = next(iter(driver.iter_compact_subproblems()))
+        combined = payload.build_maximality_graph()
+        assert set(combined.vertices()) \
+            == set(payload.labels) | set(payload.halo_labels)
+        for u, v in combined.edges():
+            assert graph.has_edge(u, v)
+        # Every ball-halo edge of the input graph is present.
+        ball = set(payload.labels)
+        for label in payload.halo_labels:
+            for neighbour in graph.neighbors(label) & ball:
+                assert combined.has_edge(label, neighbour)
+
+    @pytest.mark.parametrize("seed,gamma,theta",
+                             [(47, 0.8, 4), (99, 0.9, 3), (123, 0.6, 3)])
+    def test_worker_batches_equal_sequential_batches(self, seed, gamma, theta):
+        """With the halo, a worker that never sees the full graph emits the
+        sequential driver's candidate lists exactly, batch for batch (the
+        ROADMAP's parallel-maximality parity item)."""
+        graph = erdos_renyi_gnm(40, 120, seed=seed)
+        sequential = DCFastQC(graph, gamma, theta)
+        batches = list(sequential.iter_candidate_batches())
+        driver = DCFastQC(graph, gamma, theta)
+        payloads = list(driver.iter_compact_subproblems())
+        assert len(payloads) == len(batches)
+        for payload, batch in zip(payloads, batches):
+            subgraph = payload.build_graph()
+            engine = FastQC(subgraph, gamma, theta,
+                            maximality_graph=payload.build_maximality_graph())
+            assert engine.enumerate_branch(payload.initial_branch()) == batch
 
 
 def _current_stack_depth() -> int:

@@ -59,3 +59,14 @@ class TestMultiProcess:
         assert len(result) == len(set(result))
         sizes = [len(h) for h in result]
         assert sizes == sorted(sizes, reverse=True)
+
+    def test_workers_reproduce_sequential_candidates_exactly(self, medium_graph):
+        """Maximality-halo parity (ROADMAP item): with the one-hop halo
+        shipped in every CompactSubproblem, workers apply exactly the
+        sequential driver's maximality filtering, so the *pre-MQCE-S2*
+        candidate sets already agree — not only the final maximal answers."""
+        from repro.core import DCFastQC
+
+        sequential = set(DCFastQC(medium_graph, 0.9, 6).enumerate())
+        parallel = ParallelDCFastQC(medium_graph, 0.9, 6, workers=2, chunk_size=4)
+        assert set(parallel.enumerate()) == sequential

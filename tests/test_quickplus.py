@@ -68,6 +68,46 @@ class TestQuickPlus:
         with pytest.raises(ValueError):
             QuickPlus(triangle, gamma=0.9, theta=2, branching="bogus")
 
+    def test_invalid_kernel_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            QuickPlus(triangle, gamma=0.9, theta=2, kernel="bogus")
+
+    def test_ledger_kernel_is_default_and_counts_moves(self):
+        graph = erdos_renyi_gnp(14, 0.5, seed=404)
+        ledger = QuickPlus(graph, 0.85, 3)
+        reference = QuickPlus(graph, 0.85, 3, kernel="reference")
+        assert ledger.kernel == "ledger"
+        assert ledger.enumerate() == reference.enumerate()
+        assert ledger.statistics.ledger_moves > 0
+        assert reference.statistics.ledger_moves == 0
+
+    @pytest.mark.parametrize("branching", ["se", "sym-se", "hybrid"])
+    def test_ledger_matches_reference_with_partial_pruning(self, branching):
+        """Kernel parity must hold for every PruningConfig subset, not only
+        the default all-rules configuration."""
+        rng = random.Random(77)
+        configs = [
+            PruningConfig(),
+            PruningConfig(candidate_diameter=False),
+            PruningConfig(candidate_degree=False, branch_non_neighbor=False),
+            PruningConfig(critical_vertex=False, candidate_non_neighbor=False),
+            PruningConfig(branch_degree=False, branch_upper_bound=False),
+        ]
+        for trial in range(6):
+            graph = erdos_renyi_gnp(11, rng.uniform(0.3, 0.7), seed=4500 + trial)
+            for config in configs:
+                ledger = QuickPlus(graph, 0.8, 3, branching=branching,
+                                   pruning=config, kernel="ledger")
+                reference = QuickPlus(graph, 0.8, 3, branching=branching,
+                                      pruning=config, kernel="reference")
+                assert ledger.enumerate() == reference.enumerate(), config
+                for counter in ("branches_explored",
+                                "candidates_removed_by_type1",
+                                "branches_pruned_by_type2", "outputs"):
+                    assert (getattr(ledger.statistics, counter)
+                            == getattr(reference.statistics, counter)), (
+                        config, counter)
+
     def test_clique(self, clique5):
         assert frozenset(range(5)) in quickplus_enumerate(clique5, 1.0, 3)
 
