@@ -362,6 +362,8 @@ def main(argv=None) -> int:
     if "all" in selected:
         selected = set(SUITES)
 
+    from repro.obs.process import peak_rss_bytes
+
     record: dict = {"suites": {}, "quick": quick, "repeat": args.repeat}
     if "core" in selected:
         record["suites"]["core-enumeration"] = run_core_suite(
@@ -375,6 +377,10 @@ def main(argv=None) -> int:
     if "dynamic-updates" in selected:
         record["suites"]["dynamic-updates"] = run_dynamic_suite(
             DYNAMIC_QUICK if quick else DYNAMIC_FULL, repeat=args.repeat)
+
+    # Process high-water mark after every suite ran (None on platforms
+    # without getrusage) — part of the recorded trajectory, like the timings.
+    record["peak_rss_bytes"] = peak_rss_bytes()
 
     print()
     for key, suite in record["suites"].items():

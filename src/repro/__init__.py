@@ -67,7 +67,15 @@ from .engine import (
 )
 from .dynamic import DynamicEngine, DynamicPreparedGraph, UpdateReport
 from .graph import GraphDelta, GraphMutation
-from . import api, datasets, dynamic, engine, experiments, extensions
+from .obs import (
+    MetricsRegistry,
+    ProgressEvent,
+    ProgressTicker,
+    Tracer,
+    heartbeat,
+    render_prometheus,
+)
+from . import api, datasets, dynamic, engine, experiments, extensions, obs
 
 __version__ = "1.2.0"
 
@@ -119,11 +127,18 @@ __all__ = [
     "UpdateReport",
     "GraphDelta",
     "GraphMutation",
+    "Tracer",
+    "MetricsRegistry",
+    "ProgressTicker",
+    "ProgressEvent",
+    "heartbeat",
+    "render_prometheus",
     "api",
     "datasets",
     "dynamic",
     "engine",
     "experiments",
     "extensions",
+    "obs",
     "__version__",
 ]

@@ -20,7 +20,6 @@ fluent builder and the deprecated kwargs shims use directly.
 from __future__ import annotations
 
 import dataclasses
-import time
 from functools import reduce
 
 from ..core.branch import Branch
@@ -29,6 +28,7 @@ from ..core.stats import SearchStatistics
 from ..errors import QueryError
 from ..graph.graph import Graph
 from ..graph.subgraph import two_hop_mask
+from ..obs.trace import NULL_TRACER
 from ..pipeline.mqce import build_enumerator, canonical_order, resolve_algorithm, run_enumeration
 from ..pipeline.results import EnumerationResult
 from ..pipeline.streaming import QueryBudget
@@ -112,39 +112,47 @@ def _query_candidate_mask(graph: Graph, query_indices: list[int], gamma: float,
     return region | query_bits
 
 
-def containment_search(graph: Graph, spec: QuerySpec) -> EnumerationResult:
+def containment_search(graph: Graph, spec: QuerySpec, *,
+                       tracer=None, progress=None) -> EnumerationResult:
     """Find the (maximal) quasi-cliques containing every ``spec.contains`` vertex."""
     query_set = frozenset(spec.contains)
     if not query_set:
         raise QueryError("the query must contain at least one vertex")
     effective_theta = max(spec.theta, len(query_set))
     query_indices = [graph.index_of(v) for v in query_set]
-
-    start = time.perf_counter()
-    region = _query_candidate_mask(graph, query_indices, spec.gamma, effective_theta)
-    query_mask = 0
-    for index in query_indices:
-        query_mask |= 1 << index
+    obs = tracer if tracer is not None else NULL_TRACER
 
     budget = QueryBudget(spec.time_limit)
     found: list[frozenset] = []
     engine = None
-    if region & query_mask == query_mask:
-        engine = FastQC(graph, spec.gamma, effective_theta, kernel=spec.kernel,
-                        maximality_filter=False,
-                        should_stop=budget.expired if spec.time_limit is not None else None)
-        branch = Branch(query_mask, region & ~query_mask, 0)
-        found = [clique for clique in engine.enumerate_branch(branch)
-                 if query_set <= clique]
-    enumeration_seconds = time.perf_counter() - start
+    with obs.span("enumerate", workload="containment",
+                  query_size=len(query_set)) as enumerate_span:
+        region = _query_candidate_mask(graph, query_indices, spec.gamma,
+                                       effective_theta)
+        query_mask = 0
+        for index in query_indices:
+            query_mask |= 1 << index
+        if region & query_mask == query_mask:
+            engine = FastQC(graph, spec.gamma, effective_theta, kernel=spec.kernel,
+                            maximality_filter=False, progress=progress,
+                            should_stop=budget.expired if spec.time_limit is not None else None)
+            branch = Branch(query_mask, region & ~query_mask, 0)
+            with obs.span("subproblem", stats=engine.statistics,
+                          size=region.bit_count()):
+                found = [clique for clique in engine.enumerate_branch(branch)
+                         if query_set <= clique]
+        enumerate_span.annotate(candidates=len(found))
+    enumeration_seconds = enumerate_span.seconds
 
-    start = time.perf_counter()
-    if spec.require_maximal:
-        matches = [clique for clique in filter_non_maximal(found, theta=spec.theta)
-                   if satisfies_maximality_necessary_condition(graph, clique, spec.gamma)]
-    else:
-        matches = list(found)
-    filtering_seconds = time.perf_counter() - start
+    with obs.span("filter", theta=spec.theta,
+                  require_maximal=spec.require_maximal) as filter_span:
+        if spec.require_maximal:
+            matches = [clique for clique in filter_non_maximal(found, theta=spec.theta)
+                       if satisfies_maximality_necessary_condition(graph, clique, spec.gamma)]
+        else:
+            matches = list(found)
+        filter_span.annotate(maximal=len(matches))
+    filtering_seconds = filter_span.seconds
 
     return EnumerationResult(
         maximal_quasi_cliques=canonical_order(matches),
@@ -162,8 +170,8 @@ def containment_search(graph: Graph, spec: QuerySpec) -> EnumerationResult:
 # ----------------------------------------------------------------------
 # Top-k workload
 # ----------------------------------------------------------------------
-def topk_search(graph: Graph, spec: QuerySpec, size_bound: int | None = None
-                ) -> EnumerationResult:
+def topk_search(graph: Graph, spec: QuerySpec, size_bound: int | None = None,
+                *, tracer=None, progress=None) -> EnumerationResult:
     """The k largest maximal quasi-cliques, via a shrinking size threshold.
 
     The search runs the spec's MQCE-S1 algorithm with a size threshold that
@@ -191,25 +199,36 @@ def topk_search(graph: Graph, spec: QuerySpec, size_bound: int | None = None
     should_stop = budget.expired if spec.time_limit is not None else None
     algorithm = resolve_algorithm(spec.algorithm)
     framework = spec.framework if spec.framework is not None else "dc"
-    start = time.perf_counter()
+    obs = tracer if tracer is not None else NULL_TRACER
     candidates: list[frozenset] = []
     maximal: list[frozenset] = []
     statistics = SearchStatistics()
     truncated = False
-    while True:
-        enumerator = build_enumerator(
-            graph, spec.gamma, threshold, algorithm=algorithm,
-            branching=spec.branching, framework=framework, kernel=spec.kernel,
-            max_rounds=spec.max_rounds, maximality_filter=spec.maximality_filter,
-            should_stop=should_stop)
-        candidates = enumerator.enumerate()
-        statistics = enumerator.statistics
-        maximal = filter_non_maximal(candidates, theta=threshold)
-        truncated = getattr(enumerator, "stopped", False)
-        if truncated or len(maximal) >= k or threshold <= minimum_size:
-            break
-        threshold = max(minimum_size, threshold // 2)
-    enumeration_seconds = time.perf_counter() - start
+    rounds = 0
+    with obs.span("enumerate", workload="topk", k=k,
+                  algorithm=algorithm) as enumerate_span:
+        while True:
+            rounds += 1
+            enumerator = build_enumerator(
+                graph, spec.gamma, threshold, algorithm=algorithm,
+                branching=spec.branching, framework=framework, kernel=spec.kernel,
+                max_rounds=spec.max_rounds, maximality_filter=spec.maximality_filter,
+                should_stop=should_stop, progress=progress)
+            with obs.span("threshold_round",
+                          stats=lambda: enumerator.statistics,
+                          threshold=threshold) as round_span:
+                candidates = enumerator.enumerate()
+                statistics = enumerator.statistics
+                with obs.span("filter", theta=threshold):
+                    maximal = filter_non_maximal(candidates, theta=threshold)
+                round_span.annotate(candidates=len(candidates),
+                                    maximal=len(maximal))
+            truncated = getattr(enumerator, "stopped", False)
+            if truncated or len(maximal) >= k or threshold <= minimum_size:
+                break
+            threshold = max(minimum_size, threshold // 2)
+        enumerate_span.annotate(rounds=rounds, final_threshold=threshold)
+    enumeration_seconds = enumerate_span.seconds
 
     return EnumerationResult(
         maximal_quasi_cliques=canonical_order(maximal)[:k],

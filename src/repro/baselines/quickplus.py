@@ -72,7 +72,8 @@ class QuickPlus:
                  branching: str = "se", pruning: PruningConfig = PruningConfig(),
                  kernel: str = "ledger",
                  on_output: Callable[[frozenset], None] | None = None,
-                 should_stop: Callable[[], bool] | None = None) -> None:
+                 should_stop: Callable[[], bool] | None = None,
+                 progress=None) -> None:
         validate_parameters(gamma, theta)
         if branching not in BRANCHING_METHODS:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
@@ -86,8 +87,11 @@ class QuickPlus:
         self.kernel = kernel
         self.on_output = on_output
         self.should_stop = should_stop
+        self.progress = progress
         self.stopped = False
         self.statistics = SearchStatistics()
+        if progress is not None:
+            progress.attach_statistics(self.statistics)
         self._results: list[frozenset] = []
         self._seen_masks: set[int] = set()
 
@@ -117,10 +121,14 @@ class QuickPlus:
         if self.kernel == "ledger":
             root = BranchState.from_branch(self.graph, branch, self.statistics)
             depth_first_enumerate(root, self._expand_ledger, self._close,
-                                  should_stop=self._poll_stop)
+                                  should_stop=self._poll_stop,
+                                  ticker=self.progress)
         else:
             depth_first_enumerate(branch, self._expand_reference, self._close,
-                                  should_stop=self._poll_stop)
+                                  should_stop=self._poll_stop,
+                                  ticker=self.progress)
+        if self.progress is not None and self.progress.cancelled:
+            self.stopped = True
         return self._results[start:]
 
     @property

@@ -254,6 +254,28 @@ def _print_clique(clique: frozenset, stream=None) -> None:
           file=stream or sys.stdout, flush=True)
 
 
+def _observability(args: argparse.Namespace):
+    """Build the (tracer, progress) pair requested by --trace / --progress-every."""
+    tracer = None
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+        tracer = Tracer()
+    progress = None
+    if getattr(args, "progress_every", None):
+        from .obs import heartbeat
+        progress = heartbeat(every=args.progress_every)
+    return tracer, progress
+
+
+def _write_trace(tracer, args: argparse.Namespace) -> None:
+    if tracer is None:
+        return
+    tracer.write(args.trace, format="chrome")
+    print(f"# trace written to {args.trace} "
+          f"({tracer.coverage():.0%} of {tracer.window_seconds():.3f}s traced)",
+          file=sys.stderr)
+
+
 def _command_query(args: argparse.Namespace) -> int:
     prepared = _load_prepared(args)
     spec = _build_query_spec(args)
@@ -265,8 +287,9 @@ def _command_query(args: argparse.Namespace) -> int:
         else:
             print(plan.describe())
         return 0
+    tracer, progress = _observability(args)
     if args.stream:
-        stream = engine.stream(prepared, spec)
+        stream = engine.stream(prepared, spec, trace=tracer, progress=progress)
         delivered: list[frozenset] = []
         for clique in stream:
             if args.json:
@@ -286,8 +309,9 @@ def _command_query(args: argparse.Namespace) -> int:
                   f"{'; served from cache' if stream.from_cache else ''})")
         if args.output:
             write_quasi_cliques(delivered, args.output)
+        _write_trace(tracer, args)
         return 0
-    result = engine.query(prepared, spec)
+    result = engine.query(prepared, spec, trace=tracer, progress=progress)
     if args.json:
         payload = {"spec": spec.to_dict(), "result": result.summary(),
                    "plan": engine.explain(prepared, spec).as_dict()}
@@ -304,6 +328,7 @@ def _command_query(args: argparse.Namespace) -> int:
             _print_clique(clique)
     if args.output:
         write_quasi_cliques(result.maximal_quasi_cliques, args.output)
+    _write_trace(tracer, args)
     return 0
 
 
@@ -410,6 +435,16 @@ def _command_engine_explain(args: argparse.Namespace) -> int:
 
 def _command_engine_stats(args: argparse.Namespace) -> int:
     prepared = _load_prepared(args).prepare()
+    if getattr(args, "prometheus", False):
+        # Touch the serving stack once so the page reflects this process's
+        # query path (planner + cache + engine counters), then render the
+        # whole registry in Prometheus text exposition format.
+        gamma, theta = _resolve_defaults(args)
+        if gamma is not None and theta is not None:
+            MQCEEngine().query(prepared, gamma, theta)
+        from .obs import render_prometheus
+        sys.stdout.write(render_prometheus())
+        return 0
     summary = prepared.summary()
     summary["preparation_seconds"] = {
         artifact: round(seconds, 6)
@@ -547,6 +582,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print the query plan without enumerating")
     query_parser.add_argument("--json", action="store_true", help="print JSON only")
     query_parser.add_argument("--output", "-o", help="write the answers to this file")
+    query_parser.add_argument("--trace", metavar="FILE",
+                              help="write a Chrome trace (chrome://tracing / "
+                              "Perfetto) of the query's phase spans to FILE")
+    query_parser.add_argument("--progress-every", type=int, metavar="N",
+                              help="print a heartbeat to stderr every N "
+                              "enumeration branches")
     query_parser.set_defaults(handler=_command_query)
 
     enumerate_parser = subparsers.add_parser("enumerate", help="run the MQCE pipeline")
@@ -638,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats_sub = engine_subparsers.add_parser(
         "stats", help="prepare the graph and print its artifacts and timings")
     _add_graph_arguments(stats_sub)
+    stats_sub.add_argument("--gamma", "-g", type=float, help="degree fraction in [0.5, 1]")
+    stats_sub.add_argument("--theta", "-t", type=int, help="minimum quasi-clique size")
+    stats_sub.add_argument("--prometheus", action="store_true",
+                           help="print the process metrics registry in "
+                           "Prometheus text exposition format (runs one query "
+                           "first when gamma/theta are available)")
     stats_sub.set_defaults(handler=_command_engine_stats)
 
     dynamic_parser = subparsers.add_parser(

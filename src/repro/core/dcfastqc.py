@@ -27,6 +27,7 @@ from functools import lru_cache
 from ..graph.graph import Graph, VertexLabel, iter_bits
 from ..graph.core_decomposition import degeneracy_ordering, k_core_vertices
 from ..graph.subgraph import compact_subgraph, two_hop_mask
+from ..obs.trace import NULL_TRACER
 from ..quasiclique.definitions import degree_threshold, gamma_pq, validate_parameters
 from .branch import Branch
 from .branching import BRANCHING_METHODS
@@ -182,6 +183,15 @@ class DCFastQC:
         Optional zero-argument predicate polled before every subproblem and at
         every FastQC branch; returning True stops the enumeration
         cooperatively (:attr:`stopped` is set, partial results are kept).
+    progress:
+        Optional :class:`repro.obs.progress.ProgressTicker`, shared across
+        every per-subproblem engine so its branch count and counter snapshot
+        cover the whole run; a cancelling callback stops like ``should_stop``.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When given, the driver records
+        one ``decompose`` span (core reduction + ordering), a ``shrink`` span
+        per subproblem, and — on the compact ledger path — a ``subproblem``
+        span per enumeration with that subproblem's counter deltas.
     """
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
@@ -190,7 +200,8 @@ class DCFastQC:
                  max_rounds: int = DEFAULT_MAX_ROUNDS,
                  maximality_filter: bool = True,
                  on_output: Callable[[frozenset], None] | None = None,
-                 should_stop: Callable[[], bool] | None = None) -> None:
+                 should_stop: Callable[[], bool] | None = None,
+                 progress=None, tracer=None) -> None:
         validate_parameters(gamma, theta)
         if branching not in BRANCHING_METHODS:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
@@ -210,6 +221,8 @@ class DCFastQC:
         self.maximality_filter = maximality_filter
         self.on_output = on_output
         self.should_stop = should_stop
+        self.progress = progress
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stopped = False
         self.statistics = SearchStatistics()
         self.dc_statistics = DCStatistics()
@@ -243,7 +256,8 @@ class DCFastQC:
             engine = FastQC(self.graph, self.gamma, self.theta,
                             branching=self.branching, kernel=self.kernel,
                             maximality_filter=self.maximality_filter,
-                            on_output=self.on_output, should_stop=self.should_stop)
+                            on_output=self.on_output, should_stop=self.should_stop,
+                            progress=self.progress)
             self.statistics = engine.statistics
             batch = engine.enumerate()
             self.stopped = engine.stopped
@@ -257,7 +271,8 @@ class DCFastQC:
         # Reference path: one shared engine branching over global-width masks.
         engine = FastQC(self.graph, self.gamma, self.theta, branching=self.branching,
                         kernel=self.kernel, maximality_filter=self.maximality_filter,
-                        on_output=self.on_output, should_stop=self.should_stop)
+                        on_output=self.on_output, should_stop=self.should_stop,
+                        progress=self.progress)
         self.statistics = engine.statistics
         for root_index, refined_mask, prior_mask in self._iter_subproblems():
             if self.stopped:
@@ -283,6 +298,10 @@ class DCFastQC:
         subproblem engine are merged into :attr:`statistics`.
         """
         self.statistics = SearchStatistics()
+        if self.progress is not None:
+            # The run-wide aggregate drives the heartbeat counter snapshot;
+            # per-subproblem engine statistics must not displace it.
+            self.progress.attach_statistics(self.statistics)
         for root_index, refined_mask, _prior_mask in self._iter_subproblems():
             if self.stopped:
                 return
@@ -292,10 +311,14 @@ class DCFastQC:
                             branching=self.branching, kernel="ledger",
                             maximality_filter=self.maximality_filter,
                             maximality_graph=self.graph,
-                            on_output=self.on_output, should_stop=self.should_stop)
+                            on_output=self.on_output, should_stop=self.should_stop,
+                            progress=self.progress)
             root_bit = 1 << root_local
             branch = Branch(root_bit, subgraph.full_mask() & ~root_bit, 0)
-            batch = engine.enumerate_branch(branch)
+            with self.tracer.span("subproblem", stats=engine.statistics,
+                                  root=str(self.graph.label_of(root_index)),
+                                  size=subgraph.vertex_count):
+                batch = engine.enumerate_branch(branch)
             self.statistics.merge(engine.statistics)
             self.stopped = engine.stopped
             yield batch
@@ -349,8 +372,13 @@ class DCFastQC:
         its own shrinking) are recorded in the DC statistics but not yielded.
         Sets :attr:`stopped` when ``should_stop`` fires between subproblems.
         """
-        core_mask = self._core_reduction_mask()
-        ordering = self._vertex_ordering(core_mask)
+        with self.tracer.span("decompose") as decompose_span:
+            core_mask = self._core_reduction_mask()
+            ordering = self._vertex_ordering(core_mask)
+            decompose_span.annotate(
+                core_kept=self.dc_statistics.core_reduction_kept,
+                core_removed=self.dc_statistics.core_reduction_removed,
+                ordering=len(ordering))
         graph = self.graph
         prior_mask = 0
         for root in ordering:
@@ -361,7 +389,11 @@ class DCFastQC:
             remaining = core_mask & ~prior_mask
             subproblem_mask = two_hop_mask(graph, root_index, remaining)
             initial_size = subproblem_mask.bit_count()
-            refined_mask = self._shrink_subproblem(root_index, subproblem_mask)
+            with self.tracer.span("shrink", stats=self.statistics,
+                                  root=str(root)) as shrink_span:
+                refined_mask = self._shrink_subproblem(root_index, subproblem_mask)
+                shrink_span.annotate(initial=initial_size,
+                                     refined=refined_mask.bit_count())
             self.dc_statistics.subproblem_records.append(SubproblemRecord(
                 root=root, initial_size=initial_size,
                 refined_size=refined_mask.bit_count()))

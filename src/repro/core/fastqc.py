@@ -92,6 +92,12 @@ class FastQC:
         returns True the search unwinds cooperatively: :attr:`stopped` is set
         and the results collected so far are kept.  This is how streaming
         callers enforce time budgets and cancellation.
+    progress:
+        Optional :class:`repro.obs.progress.ProgressTicker`.  The work-stack
+        driver notifies it once per branch expansion; every N branches it
+        fires its callback with elapsed time, branches/sec, stack depth and a
+        live counter snapshot.  A cancelling callback stops the search
+        exactly like ``should_stop`` (``stopped`` is set).
     """
 
     def __init__(self, graph: Graph, gamma: float, theta: int,
@@ -99,7 +105,8 @@ class FastQC:
                  maximality_filter: bool = True,
                  maximality_graph: Graph | None = None,
                  on_output: Callable[[frozenset], None] | None = None,
-                 should_stop: Callable[[], bool] | None = None) -> None:
+                 should_stop: Callable[[], bool] | None = None,
+                 progress=None) -> None:
         validate_parameters(gamma, theta)
         if branching not in BRANCHING_METHODS:
             raise ValueError(f"branching must be one of {BRANCHING_METHODS}, got {branching!r}")
@@ -114,8 +121,11 @@ class FastQC:
         self.maximality_graph = maximality_graph if maximality_graph is not None else graph
         self.on_output = on_output
         self.should_stop = should_stop
+        self.progress = progress
         self.stopped = False
         self.statistics = SearchStatistics()
+        if progress is not None:
+            progress.attach_statistics(self.statistics)
         self._results: list[frozenset] = []
         self._seen_masks: set[int] = set()
 
@@ -150,10 +160,14 @@ class FastQC:
         if self.kernel == "ledger":
             root = BranchState.from_branch(self.graph, branch, self.statistics)
             depth_first_enumerate(root, self._expand_ledger, self._close,
-                                  should_stop=self._poll_stop)
+                                  should_stop=self._poll_stop,
+                                  ticker=self.progress)
         else:
             depth_first_enumerate(branch, self._expand_reference, self._close,
-                                  should_stop=self._poll_stop)
+                                  should_stop=self._poll_stop,
+                                  ticker=self.progress)
+        if self.progress is not None and self.progress.cancelled:
+            self.stopped = True
         return self._results[start:]
 
     @property

@@ -994,7 +994,8 @@ KERNELS = ("ledger", "reference")
 
 
 def depth_first_enumerate(root, expand: Callable, close: Callable,
-                          should_stop: Callable[[], bool] | None = None) -> bool:
+                          should_stop: Callable[[], bool] | None = None,
+                          ticker=None) -> bool:
     """Post-order depth-first search over branches with an explicit work stack.
 
     ``expand(branch)`` is called once per visited branch and returns either a
@@ -1008,7 +1009,22 @@ def depth_first_enumerate(root, expand: Callable, close: Callable,
     ``should_stop`` is polled before each expansion; when it fires the search
     abandons the stack and reports True so no ancestor emits its partial set
     during the unwind (cooperative-cancellation semantics of the recursion).
+
+    ``ticker`` is an optional :class:`repro.obs.progress.ProgressTicker`:
+    ``ticker.on_branch(depth)`` is called once per expansion (an increment
+    plus a modulo until its period elapses) and a True return requests the
+    same cooperative unwind as ``should_stop``.
     """
+    # Both hooks fold into one prebuilt ``poll``, so the common disabled case
+    # pays exactly one is-None check per branch — the same instruction count
+    # as the loop had before progress hooks existed.
+    if ticker is None:
+        poll = None if should_stop is None else lambda depth: should_stop()
+    elif should_stop is None:
+        poll = ticker.on_branch
+    else:
+        def poll(depth, _tick=ticker.on_branch):
+            return should_stop() or _tick(depth)
     stack: list[tuple[bool, object]] = [(False, root)]
     found: list[bool] = [False]
     while stack:
@@ -1020,7 +1036,7 @@ def depth_first_enumerate(root, expand: Callable, close: Callable,
             if sub_found:
                 found[-1] = True
             continue
-        if should_stop is not None and should_stop():
+        if poll is not None and poll(len(stack)):
             return True
         outcome = expand(payload)
         if isinstance(outcome, bool):

@@ -88,6 +88,10 @@ class SearchStatistics:
         data = asdict(self)
         data["max_subproblem_size"] = self.subproblem_sizes.max
         data["avg_subproblem_size"] = self.subproblem_sizes.average
+        # Process high-water mark at snapshot time (None where the platform
+        # offers no getrusage).  Lazy import: obs depends on this module.
+        from ..obs.process import peak_rss_bytes
+        data["peak_rss_bytes"] = peak_rss_bytes()
         return data
 
     def merge(self, other: "SearchStatistics") -> None:

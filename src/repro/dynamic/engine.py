@@ -59,11 +59,27 @@ from ..graph.core_decomposition import core_numbers
 from ..graph.delta import GraphMutation
 from ..graph.graph import Graph
 from ..graph.subgraph import two_hop_mask
+from ..obs.metrics import REGISTRY
 from ..pipeline.results import EnumerationResult
 from ..quasiclique.definitions import degree_threshold
 from .index import CacheIndex
 from .prepared import DynamicPreparedGraph
 from .updates import UpdateOp, normalise_update
+
+# Process-wide dynamic-maintenance metrics.  invalidated vs. retained is the
+# invalidation *selectivity*: how much of the warm cache each sync preserved.
+_SYNCS = REGISTRY.counter("repro_dynamic_syncs_total",
+                          "Dynamic-engine syncs that drained pending mutations")
+_MUTATIONS = REGISTRY.counter("repro_dynamic_mutations_total",
+                              "Graph mutations reconciled by dynamic syncs, by op")
+_INVALIDATED = REGISTRY.counter("repro_dynamic_entries_invalidated_total",
+                                "Cache entries dropped by selective invalidation")
+_RETAINED = REGISTRY.counter("repro_dynamic_entries_retained_total",
+                             "Cache entries that survived a dynamic sync")
+_REKEYED = REGISTRY.counter("repro_dynamic_entries_rekeyed_total",
+                            "Surviving entries re-addressed to the new fingerprint")
+_FULL_REBUILDS = REGISTRY.counter("repro_dynamic_full_rebuilds_total",
+                                  "Syncs that fell back to a full rebuild")
 
 
 @dataclass(frozen=True)
@@ -108,6 +124,17 @@ class UpdateStats:
         self.entries_rekeyed += report.rekeyed
         self.full_rebuilds += 1 if report.full_rebuild else 0
         self.operations.update(by_op)
+        _SYNCS.inc()
+        for op, count in by_op.items():
+            _MUTATIONS.inc(count, op=op)
+        if report.invalidated:
+            _INVALIDATED.inc(report.invalidated)
+        if report.retained:
+            _RETAINED.inc(report.retained)
+        if report.rekeyed:
+            _REKEYED.inc(report.rekeyed)
+        if report.full_rebuild:
+            _FULL_REBUILDS.inc()
 
     def as_dict(self) -> dict:
         return {

@@ -18,9 +18,25 @@ from collections import OrderedDict
 from dataclasses import dataclass, asdict
 from typing import Any, Hashable
 
+from ..obs.metrics import REGISTRY
 from ..quasiclique.definitions import gamma_fraction
 
 DEFAULT_CAPACITY = 128
+
+# Process-wide cache metrics (every ResultCache in the process feeds them;
+# the per-instance CacheStats dataclass remains the per-cache view).
+_HITS = REGISTRY.counter("repro_cache_hits_total",
+                         "Result-cache lookups served from the cache")
+_MISSES = REGISTRY.counter("repro_cache_misses_total",
+                           "Result-cache lookups that found no entry")
+_EVICTIONS = REGISTRY.counter("repro_cache_evictions_total",
+                              "Entries evicted by the LRU capacity bound")
+_INSERTS = REGISTRY.counter("repro_cache_inserts_total",
+                            "Entries inserted into a result cache")
+_DISCARDS = REGISTRY.counter("repro_cache_invalidations_total",
+                             "Entries dropped by selective invalidation")
+_REKEYS = REGISTRY.counter("repro_cache_rekeys_total",
+                           "Entries re-addressed to a new graph fingerprint")
 
 
 @dataclass
@@ -91,9 +107,11 @@ class ResultCache:
             value = self._entries[key]
         except KeyError:
             self.stats.misses += 1
+            _MISSES.inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        _HITS.inc()
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -102,9 +120,11 @@ class ResultCache:
             self._entries.move_to_end(key)
         self._entries[key] = value
         self.stats.inserts += 1
+        _INSERTS.inc()
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            _EVICTIONS.inc()
 
     def discard(self, key: Hashable) -> bool:
         """Remove an entry without touching the hit/miss counters.
@@ -113,7 +133,10 @@ class ResultCache:
         the entry is dropped because its graph changed, which is neither a
         lookup nor a capacity eviction.  Returns True when the key existed.
         """
-        return self._entries.pop(key, None) is not None
+        if self._entries.pop(key, None) is not None:
+            _DISCARDS.inc()
+            return True
+        return False
 
     def rekey(self, old_key: Hashable, new_key: Hashable) -> bool:
         """Move an entry to a new key, preserving its value and recency.
@@ -129,6 +152,7 @@ class ResultCache:
         except KeyError:
             return False
         self._entries[new_key] = value
+        _REKEYS.inc()
         return True
 
     def __len__(self) -> int:

@@ -27,7 +27,6 @@ callers may mutate the lists they receive.
 
 from __future__ import annotations
 
-import time
 import weakref
 from collections import Counter, deque
 from collections.abc import Iterable, Mapping
@@ -39,6 +38,8 @@ from ..core.stats import SearchStatistics
 from ..errors import EngineError
 from ..extensions.parallel import ParallelDCFastQC
 from ..graph.graph import Graph
+from ..obs.metrics import REGISTRY
+from ..obs.trace import NULL_TRACER
 from ..pipeline.mqce import canonical_order, run_enumeration
 from ..pipeline.results import EnumerationResult
 from ..settrie.filter import filter_non_maximal
@@ -46,6 +47,10 @@ from .cache import DEFAULT_CAPACITY, ResultCache
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
 from .prepared import PreparedGraph
 from .stream import ResultStream
+
+_QUERIES = REGISTRY.counter(
+    "repro_engine_queries_total",
+    "Queries served by MQCEEngine.query, by how they were served")
 
 #: How many per-query records the engine keeps for ``stats()``.
 HISTORY_LIMIT = 1024
@@ -165,7 +170,8 @@ class MQCEEngine:
     def query(self, graph: Graph | PreparedGraph, gamma=None, theta: int | None = None,
               algorithm: str = "auto", branching: str | None = None,
               use_cache: bool = True, *,
-              spec: QuerySpec | None = None) -> EnumerationResult:
+              spec: QuerySpec | None = None,
+              trace=None, progress=None) -> EnumerationResult:
         """Solve one query described by a :class:`QuerySpec`, serving repeats from cache.
 
         Both calling styles are supported — ``query(graph, spec)`` /
@@ -185,28 +191,50 @@ class MQCEEngine:
         ``include_candidates`` shape only the delivered copy, so warm
         identical queries still skip re-enumeration regardless of output
         options.
+
+        ``trace`` is an optional :class:`repro.obs.Tracer`: the query becomes
+        one ``query`` root span with ``prepare`` / ``plan`` / ``cache``
+        children plus the execution-path spans (``enumerate`` / ``filter``,
+        or the DC driver's ``decompose`` / ``shrink`` / ``subproblem``).
+        ``progress`` is an optional :class:`repro.obs.ProgressTicker` fed by
+        the branch loop (ignored on cache hits and parallel plans).
         """
-        start = time.perf_counter()
-        spec = coerce_spec(gamma, theta, algorithm, branching, spec=spec)
-        prepared = self.prepare(graph)
-        plan = self.planner.plan_spec(prepared, spec, workers=self.workers)
-        resolved = spec.resolved(plan)
-        key = ResultCache.spec_key(prepared.fingerprint, resolved)
-        if use_cache and spec.cacheable:
-            cached = self.cache.get(key)
-            if cached is not None:
-                self._record(plan, cached=True, seconds=time.perf_counter() - start)
-                return shape_result(cached, spec)
-        result = self._execute_spec(prepared, resolved, plan)
-        if use_cache and spec.cacheable and not result.truncated:
-            self.cache.put(key, result)
-        self._record(plan, cached=False, seconds=time.perf_counter() - start)
-        return shape_result(result, spec)
+        tracer = trace if trace is not None else NULL_TRACER
+        with tracer.span("query") as query_span:
+            spec = coerce_spec(gamma, theta, algorithm, branching, spec=spec)
+            with tracer.span("prepare"):
+                prepared = self.prepare(graph)
+            with tracer.span("plan") as plan_span:
+                plan = self.planner.plan_spec(prepared, spec, workers=self.workers)
+                plan_span.annotate(algorithm=plan.algorithm,
+                                   branching=plan.branching)
+            resolved = spec.resolved(plan)
+            key = ResultCache.spec_key(prepared.fingerprint, resolved)
+            query_span.annotate(gamma=plan.gamma, theta=plan.theta,
+                                algorithm=plan.algorithm,
+                                workload=spec.workload)
+            if use_cache and spec.cacheable:
+                with tracer.span("cache") as cache_span:
+                    cached = self.cache.get(key)
+                    cache_span.annotate(hit=cached is not None)
+                if cached is not None:
+                    query_span.annotate(served="cache")
+                    self._record(plan, cached=True,
+                                 seconds=query_span.elapsed())
+                    return shape_result(cached, spec)
+            result = self._execute_spec(prepared, resolved, plan,
+                                        tracer=tracer, progress=progress)
+            if use_cache and spec.cacheable and not result.truncated:
+                self.cache.put(key, result)
+            query_span.annotate(served="execute")
+            self._record(plan, cached=False, seconds=query_span.elapsed())
+            return shape_result(result, spec)
 
     def stream(self, graph: Graph | PreparedGraph, gamma=None, theta: int | None = None,
                algorithm: str = "auto", branching: str | None = None,
                use_cache: bool = True, *,
-               spec: QuerySpec | None = None) -> ResultStream:
+               spec: QuerySpec | None = None,
+               trace=None, progress=None) -> ResultStream:
         """Yield maximal quasi-cliques incrementally for one query.
 
         Returns a :class:`~repro.engine.stream.ResultStream` iterator.  Warm
@@ -218,13 +246,20 @@ class MQCEEngine:
         cooperatively, and :meth:`ResultStream.cancel` aborts mid-flight.
         Every set yielded by an incremental (DC) stream is genuinely maximal
         in the full answer, even when the stream is truncated.
+
+        ``trace`` attaches a :class:`repro.obs.Tracer` to the stream (exposed
+        as :attr:`ResultStream.tracer`): the live path records an
+        ``enumerate`` span whose clock pauses while the stream is suspended
+        at a yield.  ``progress`` forwards a branch-tick hook to the
+        underlying enumeration.
         """
         spec = coerce_spec(gamma, theta, algorithm, branching, spec=spec)
         prepared = self.prepare(graph)
         plan = self.planner.plan_spec(prepared, spec, workers=self.workers)
         resolved = spec.resolved(plan)
         key = ResultCache.spec_key(prepared.fingerprint, resolved)
-        return ResultStream(self, prepared, spec, plan, key, use_cache=use_cache)
+        return ResultStream(self, prepared, spec, plan, key, use_cache=use_cache,
+                            trace=trace, progress=progress)
 
     def query_batch(self, graph: Graph | PreparedGraph,
                     requests: Iterable[QuerySpec | QueryRequest | Mapping | tuple]
@@ -275,8 +310,10 @@ class MQCEEngine:
     # Internals
     # ------------------------------------------------------------------
     def _execute_spec(self, prepared: PreparedGraph, resolved: QuerySpec,
-                      plan: QueryPlan) -> EnumerationResult:
+                      plan: QueryPlan, tracer=None,
+                      progress=None) -> EnumerationResult:
         """Run one resolved spec through the right workload path."""
+        tracer = tracer if tracer is not None else NULL_TRACER
         if plan.trivial:
             # Preprocessing proved no quasi-clique of size >= theta exists, so
             # every workload's answer is empty.
@@ -285,32 +322,37 @@ class MQCEEngine:
                 algorithm=plan.algorithm, gamma=plan.gamma, theta=plan.theta)
         graph = prepared.graph
         if resolved.contains:
-            return containment_search(graph, resolved)
+            return containment_search(graph, resolved, tracer=tracer,
+                                      progress=progress)
         if resolved.k is not None:
             return topk_search(graph, resolved,
-                               size_bound=prepared.size_upper_bound(resolved.gamma))
+                               size_bound=prepared.size_upper_bound(resolved.gamma),
+                               tracer=tracer, progress=progress)
         if plan.parallel and resolved.time_limit is None:
             # The process-pool driver has no cooperative-cancellation channel,
-            # so budgeted queries always take the sequential path.
+            # so budgeted queries always take the sequential path.  (It has no
+            # branch-tick channel either; `progress` only applies below.)
             runner = ParallelDCFastQC(graph, plan.gamma, plan.theta,
                                       branching=plan.branching, kernel=plan.kernel,
                                       workers=plan.workers)
-            start = time.perf_counter()
-            candidates = runner.enumerate()
-            enumeration_seconds = time.perf_counter() - start
-            start = time.perf_counter()
-            maximal = filter_non_maximal(candidates, theta=plan.theta)
-            filtering_seconds = time.perf_counter() - start
+            with tracer.span("enumerate", algorithm=plan.algorithm,
+                             parallel=True) as enumerate_span:
+                candidates = runner.enumerate()
+                enumerate_span.annotate(candidates=len(candidates))
+            with tracer.span("filter") as filter_span:
+                maximal = filter_non_maximal(candidates, theta=plan.theta)
+                filter_span.annotate(maximal=len(maximal))
             return EnumerationResult(
                 maximal_quasi_cliques=canonical_order(maximal),
                 candidate_quasi_cliques=list(candidates),
                 algorithm=plan.algorithm, gamma=plan.gamma, theta=plan.theta,
                 search_statistics=SearchStatistics(),
-                enumeration_seconds=enumeration_seconds,
-                filtering_seconds=filtering_seconds)
-        return run_enumeration(graph, resolved)
+                enumeration_seconds=enumerate_span.seconds,
+                filtering_seconds=filter_span.seconds)
+        return run_enumeration(graph, resolved, tracer=tracer, progress=progress)
 
     def _record(self, plan: QueryPlan, cached: bool, seconds: float) -> None:
+        _QUERIES.inc(served="cache" if cached else "execute")
         self.history.append(QueryRecord(
             fingerprint=plan.fingerprint, gamma=plan.gamma, theta=plan.theta,
             algorithm=plan.algorithm, cached=cached, seconds=seconds))

@@ -24,9 +24,20 @@ import os
 from dataclasses import dataclass, field, asdict
 
 from ..core.kernel import KERNELS
+from ..obs.metrics import REGISTRY
 from ..pipeline.mqce import ALGORITHMS
 from ..quasiclique.definitions import gamma_fraction, validate_parameters
 from .prepared import PreparedGraph
+
+_PLANS = REGISTRY.counter(
+    "repro_planner_plans_total",
+    "Plans served by QueryPlanner.plan, by chosen algorithm and source")
+_PARALLEL_PLANS = REGISTRY.counter(
+    "repro_planner_parallel_plans_total",
+    "Plans that fan divide-and-conquer subproblems out to a process pool")
+_TRIVIAL_PLANS = REGISTRY.counter(
+    "repro_planner_trivial_plans_total",
+    "Plans where preprocessing proved the answer empty")
 
 #: Planner decision thresholds, overridable per engine instance.
 DEFAULT_SMALL_GRAPH_VERTICES = 64
@@ -144,6 +155,7 @@ class QueryPlanner:
                      algorithm, branching, kernel, workers)
         memoized = prepared.plan_cache.get(cache_key)
         if memoized is not None:
+            _PLANS.inc(algorithm=memoized.algorithm, source="memoized")
             return memoized
         reasons: list[str] = []
 
@@ -235,6 +247,11 @@ class QueryPlanner:
             reasons=tuple(reasons),
         )
         prepared.plan_cache[cache_key] = plan
+        _PLANS.inc(algorithm=plan.algorithm, source="computed")
+        if plan.parallel:
+            _PARALLEL_PLANS.inc()
+        if plan.trivial:
+            _TRIVIAL_PLANS.inc()
         return plan
 
     # ------------------------------------------------------------------

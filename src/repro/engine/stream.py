@@ -25,22 +25,37 @@ import dataclasses
 import time
 from collections.abc import Iterator
 
+from ..obs.metrics import REGISTRY
+from ..obs.trace import NULL_TRACER
 from ..pipeline.mqce import canonical_order
 from ..pipeline.results import EnumerationResult
 from ..pipeline.streaming import QuasiCliqueStream
 
+_YIELDS = REGISTRY.counter(
+    "repro_stream_yields_total",
+    "Maximal quasi-cliques delivered by engine result streams, by path")
+
 
 class ResultStream(Iterator[frozenset]):
-    """An engine-managed stream of maximal quasi-cliques for one query."""
+    """An engine-managed stream of maximal quasi-cliques for one query.
+
+    ``trace`` attaches a :class:`repro.obs.Tracer` (kept on :attr:`tracer`):
+    the live path records an ``enumerate`` span whose clock pauses while the
+    generator is suspended at a yield, so the span's seconds equal the old
+    hand-rolled active-time accounting.  ``progress`` forwards a
+    :class:`repro.obs.ProgressTicker` to the underlying enumeration.
+    """
 
     def __init__(self, engine, prepared, spec, plan, key: tuple,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True, trace=None, progress=None) -> None:
         self.spec = spec
         self.plan = plan
         self.delivered = 0
         self.finished = False
         self.truncated = False
         self.from_cache = False
+        self.tracer = trace if trace is not None else NULL_TRACER
+        self._progress = progress
         self._engine = engine
         self._prepared = prepared
         self._key = key
@@ -83,13 +98,14 @@ class ResultStream(Iterator[frozenset]):
             self._inner.cancel()
 
     # ------------------------------------------------------------------
-    def _deliver(self, cliques) -> Iterator[frozenset]:
+    def _deliver(self, cliques, path: str) -> Iterator[frozenset]:
         limit = self.spec.max_results
         for clique in cliques:
             if limit is not None and self.delivered >= limit:
                 self.truncated = True
                 return
             self.delivered += 1
+            _YIELDS.inc(path=path)
             yield clique
         self.finished = not self.truncated
 
@@ -97,7 +113,7 @@ class ResultStream(Iterator[frozenset]):
         """Serve a cache hit: the canonical maximal list, budget-trimmed."""
         self._engine._record(self.plan, cached=True,
                              seconds=time.perf_counter() - self._start)
-        yield from self._deliver(list(result.maximal_quasi_cliques))
+        yield from self._deliver(list(result.maximal_quasi_cliques), "replay")
 
     def _empty(self) -> Iterator[frozenset]:
         """A trivial plan: preprocessing proved the answer empty."""
@@ -113,9 +129,10 @@ class ResultStream(Iterator[frozenset]):
         # of the key) so _deliver can apply max_results and flag truncation.
         base = dataclasses.replace(self.spec, max_results=None)
         result = self._engine.query(self._prepared, base,
-                                    use_cache=self._use_cache)
+                                    use_cache=self._use_cache,
+                                    trace=self.tracer, progress=self._progress)
         self.truncated = result.truncated
-        yield from self._deliver(list(result.maximal_quasi_cliques))
+        yield from self._deliver(list(result.maximal_quasi_cliques), "eager")
 
     def _live(self) -> Iterator[frozenset]:
         """Cold enumerate query: stream incrementally, cache on completion."""
@@ -126,24 +143,30 @@ class ResultStream(Iterator[frozenset]):
             branching=spec.branching or self.plan.branching,
             framework=spec.framework or self.plan.framework,
             max_rounds=spec.max_rounds, maximality_filter=spec.maximality_filter,
-            time_limit=spec.time_limit, max_results=spec.max_results)
+            time_limit=spec.time_limit, max_results=spec.max_results,
+            progress=self._progress, tracer=self.tracer)
         self._inner = inner
         collected: list[frozenset] = []
-        # Only time spent *inside* the enumerator counts; the clock stops
-        # while the generator is suspended at `yield`, so a slow consumer
-        # does not inflate the cached timings or the engine history.
-        active_seconds = 0.0
-        while True:
-            tick = time.perf_counter()
-            try:
-                clique = next(inner)
-            except StopIteration:
-                active_seconds += time.perf_counter() - tick
-                break
-            active_seconds += time.perf_counter() - tick
-            collected.append(clique)
-            self.delivered += 1
-            yield clique
+        # Only time spent *inside* the enumerator counts; the span's clock
+        # pauses while the generator is suspended at `yield`, so a slow
+        # consumer does not inflate the cached timings or the engine history.
+        with self.tracer.span("enumerate", stats=lambda: inner.statistics,
+                              algorithm=inner.algorithm,
+                              streaming=True) as span:
+            span.pause()
+            while True:
+                span.resume()
+                try:
+                    clique = next(inner)
+                except StopIteration:
+                    span.pause()
+                    break
+                span.pause()
+                collected.append(clique)
+                self.delivered += 1
+                _YIELDS.inc(path="live")
+                yield clique
+        active_seconds = span.seconds
         self.truncated = inner.truncated
         self.finished = inner.finished
         # A consumer may mutate the graph between yields; a stream that ran

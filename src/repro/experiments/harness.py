@@ -8,27 +8,36 @@ counts, which are the quantity the paper's analysis actually bounds.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable, Sequence
 
 from ..graph.graph import Graph
+from ..obs.trace import NULL_TRACER
 from ..pipeline.mqce import build_enumerator
 from ..settrie.filter import filter_non_maximal
 
 
 def run_algorithm(graph: Graph, gamma: float, theta: int, algorithm: str,
-                  include_filtering: bool = True, **kwargs) -> dict:
-    """Run one MQCE-S1 algorithm (plus optional MQCE-S2 filter) and return a row."""
+                  include_filtering: bool = True, tracer=None, **kwargs) -> dict:
+    """Run one MQCE-S1 algorithm (plus optional MQCE-S2 filter) and return a row.
+
+    ``tracer`` attaches a :class:`repro.obs.Tracer`: the run records an
+    ``enumerate`` span (with branch-counter deltas) and, when filtering is on,
+    a ``filter`` span; their seconds are the row's timing fields.
+    """
+    obs = tracer if tracer is not None else NULL_TRACER
     enumerator = build_enumerator(graph, gamma, theta, algorithm=algorithm, **kwargs)
-    start = time.perf_counter()
-    candidates = enumerator.enumerate()
-    enumeration_seconds = time.perf_counter() - start
+    with obs.span("enumerate", stats=lambda: enumerator.statistics,
+                  algorithm=algorithm) as enumerate_span:
+        candidates = enumerator.enumerate()
+        enumerate_span.annotate(candidates=len(candidates))
+    enumeration_seconds = enumerate_span.seconds
     filtering_seconds = 0.0
     maximal: list[frozenset] = []
     if include_filtering:
-        start = time.perf_counter()
-        maximal = filter_non_maximal(candidates, theta=theta)
-        filtering_seconds = time.perf_counter() - start
+        with obs.span("filter", theta=theta) as filter_span:
+            maximal = filter_non_maximal(candidates, theta=theta)
+            filter_span.annotate(maximal=len(maximal))
+        filtering_seconds = filter_span.seconds
     statistics = enumerator.statistics
     return {
         "algorithm": algorithm,

@@ -34,11 +34,32 @@ from dataclasses import dataclass
 from ..core.dcfastqc import CompactSubproblem, DCFastQC, DEFAULT_MAX_ROUNDS
 from ..core.fastqc import FastQC
 from ..graph.graph import Graph
+from ..obs.metrics import REGISTRY, MetricsRegistry
 from ..quasiclique.definitions import validate_parameters
 from ..settrie.filter import filter_non_maximal
 
 # Module-level worker state, initialised once per worker process.
 _WORKER_STATE: dict = {}
+
+
+def _worker_metrics(engine: FastQC, subproblem: CompactSubproblem) -> dict:
+    """Record one subproblem's counters into a throwaway registry snapshot.
+
+    Worker processes cannot inc the parent's :data:`~repro.obs.metrics.REGISTRY`
+    directly (each fork has its own copy), so every task returns a snapshot of
+    a task-local registry and the parent merges them — counters and histograms
+    add up exactly as if the work had run in-process.
+    """
+    local = MetricsRegistry()
+    local.counter("repro_parallel_subproblems_total",
+                  "DC subproblems enumerated by pool workers").inc()
+    local.counter("repro_parallel_worker_branches_total",
+                  "Branches explored inside pool workers").inc(
+        engine.statistics.branches_explored)
+    local.histogram("repro_parallel_subproblem_sizes",
+                    "Vertex counts of subproblems shipped to workers").observe(
+        len(subproblem.labels))
+    return local.snapshot()
 
 
 @dataclass(frozen=True)
@@ -56,13 +77,14 @@ def _initialise_worker(config: _WorkerConfig) -> None:
     _WORKER_STATE["config"] = config
 
 
-def _run_subproblem(subproblem: CompactSubproblem) -> list[frozenset]:
+def _run_subproblem(subproblem: CompactSubproblem) -> tuple[list[frozenset], dict]:
     """Enumerate one compact DC subproblem inside a worker process.
 
     The maximality filter checks single-vertex extensions against the ball
     plus its one-hop halo, which decides exactly like the sequential driver's
     full-graph check (any extension vertex is adjacent to the candidate set,
-    hence inside ball ∪ halo).
+    hence inside ball ∪ halo).  Returns the candidate sets plus a metrics
+    snapshot for the parent to merge (see :func:`_worker_metrics`).
     """
     config: _WorkerConfig = _WORKER_STATE["config"]
     graph = subproblem.build_graph()
@@ -71,7 +93,8 @@ def _run_subproblem(subproblem: CompactSubproblem) -> list[frozenset]:
     engine = FastQC(graph, config.gamma, config.theta,
                     branching=config.branching, kernel=config.kernel,
                     maximality_graph=maximality)
-    return engine.enumerate_branch(subproblem.initial_branch())
+    chunk = engine.enumerate_branch(subproblem.initial_branch())
+    return chunk, _worker_metrics(engine, subproblem)
 
 
 class ParallelDCFastQC:
@@ -136,9 +159,10 @@ class ParallelDCFastQC:
             with ProcessPoolExecutor(max_workers=self.workers,
                                      initializer=_initialise_worker,
                                      initargs=(config,)) as pool:
-                for chunk in pool.map(_run_subproblem, subproblems,
-                                      chunksize=self.chunk_size):
+                for chunk, metrics in pool.map(_run_subproblem, subproblems,
+                                               chunksize=self.chunk_size):
                     results.update(chunk)
+                    REGISTRY.merge(metrics)
         except (OSError, ValueError):  # pragma: no cover - platform fallback
             return self._driver().enumerate()
         return sorted(results, key=lambda h: (-len(h), sorted(map(str, h))))

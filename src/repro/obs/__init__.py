@@ -1,0 +1,61 @@
+"""Unified observability layer: tracing, metrics, progress, process stats.
+
+Three independent instruments, all designed so the *disabled* path costs
+nothing on the hot branch loop:
+
+Tracing (:mod:`repro.obs.trace`)
+    A per-query :class:`Tracer` records nestable context-manager spans
+    (``prepare`` / ``plan`` / ``cache`` / ``decompose`` / ``shrink`` /
+    ``enumerate`` / ``filter``) with wall-clock seconds and per-span
+    :class:`~repro.core.stats.SearchStatistics` counter deltas, exporting
+    plain JSON or Chrome trace-event format (Perfetto-loadable)::
+
+        from repro.obs import Tracer
+        tracer = Tracer()
+        result = engine.query(graph, spec, trace=tracer)
+        tracer.write("trace.json")          # chrome://tracing format
+
+    Same thing from the CLI: ``repro query ... --trace trace.json``.  When no
+    tracer is passed, code paths run against :data:`NULL_TRACER`, whose spans
+    still measure elapsed seconds (the result objects need them) but retain
+    no events and take no counter snapshots.
+
+Metrics (:mod:`repro.obs.metrics`)
+    A process-global :data:`REGISTRY` of counters, gauges and bounded
+    histograms fed by the result cache, the query planner, the dynamic
+    engine's invalidation pass, streams and parallel workers.  Render it with
+    :func:`render_prometheus` or ``repro engine stats --prometheus``.
+
+Progress (:mod:`repro.obs.progress`)
+    A :class:`ProgressTicker` hooks the work-stack driver and fires a
+    callback every N branch expansions with elapsed time, branches/sec,
+    stack depth and a live counter snapshot::
+
+        from repro.obs import ProgressTicker
+        ticker = ProgressTicker(lambda e: print(e.branches_per_sec), every=8192)
+        engine.query(graph, spec, progress=ticker)
+
+    Returning a truthy value from the callback cancels the enumeration
+    cooperatively (composing with ``should_stop`` budgets); ``repro query
+    --progress-every N`` prints a stderr heartbeat built on the same hook.
+
+Process (:mod:`repro.obs.process`)
+    :func:`peak_rss_bytes` / :func:`current_rss_bytes` with graceful
+    degradation on platforms without ``resource`` or ``/proc``.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, REGISTRY,
+                      get_registry, render_prometheus)
+from .process import current_rss_bytes, peak_rss_bytes
+from .progress import DEFAULT_EVERY, ProgressEvent, ProgressTicker, heartbeat
+from .trace import (NULL_TRACER, Span, TRACE_PHASES, Tracer, counter_snapshot,
+                    validate_chrome_trace, validate_chrome_trace_file)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "get_registry", "render_prometheus",
+    "current_rss_bytes", "peak_rss_bytes",
+    "DEFAULT_EVERY", "ProgressEvent", "ProgressTicker", "heartbeat",
+    "NULL_TRACER", "Span", "TRACE_PHASES", "Tracer", "counter_snapshot",
+    "validate_chrome_trace", "validate_chrome_trace_file",
+]

@@ -1,0 +1,314 @@
+"""Per-query phase tracing: nestable spans with counter deltas.
+
+A :class:`Tracer` records a tree of named :class:`Span`\\ s — ``prepare``,
+``plan``, ``cache``, ``decompose``, ``shrink``, ``enumerate``, ``filter`` in
+the engine paths — each holding wall-clock seconds, free-form attributes, and
+the delta of every integer :class:`~repro.core.stats.SearchStatistics`
+counter that changed while the span was open.  Finished traces export as a
+plain nested dict (:meth:`Tracer.as_dict`) or in Chrome trace-event format
+(:meth:`Tracer.chrome_trace`), loadable in Perfetto / ``chrome://tracing``.
+
+The disabled path is :data:`NULL_TRACER`: its spans still measure elapsed
+seconds (callers reuse ``span.seconds`` for result timing fields, which is
+what lets the span API replace the repo's hand-rolled ``perf_counter()``
+pairs) but retain nothing — no stack, no counter snapshots, no event tree —
+so instrumented code calls ``tracer.span(...)`` unconditionally instead of
+branching on an enabled flag at every site.  The hot branch loop inside
+:func:`repro.core.kernel.depth_first_enumerate` is never spanned at all;
+spans sit at phase and subproblem granularity only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+#: The span vocabulary used by the engine/execute/pipeline paths.  Extra span
+#: names (e.g. per-subproblem ``subproblem`` spans) are allowed; these are the
+#: ones tooling may rely on.
+TRACE_PHASES = ("prepare", "plan", "cache", "decompose", "shrink",
+                "enumerate", "filter")
+
+
+def counter_snapshot(stats) -> dict[str, int]:
+    """The integer counters of a statistics object, as a plain dict.
+
+    Works for any object whose interesting fields are plain ``int``
+    attributes (``SearchStatistics``, ``UpdateStats``); nested histograms and
+    other non-int fields are skipped.  ``None`` snapshots to ``{}``.
+    """
+    if stats is None:
+        return {}
+    return {key: value for key, value in vars(stats).items()
+            if type(value) is int}
+
+
+class Span:
+    """One timed region.  Use as a context manager via :meth:`Tracer.span`.
+
+    ``seconds`` accumulates *active* time only: :meth:`pause` /
+    :meth:`resume` let long-lived spans (a stream suspended at a yield) stop
+    the clock while control is outside the traced region.  When constructed
+    with a ``stats`` object, the span snapshots its integer counters on entry
+    and stores the nonzero deltas in ``counters`` on exit.  ``stats`` may
+    also be a zero-argument callable resolved at entry and exit — for
+    enumerators that swap in a fresh statistics object when a run starts.
+    """
+
+    __slots__ = ("name", "attributes", "seconds", "counters", "children",
+                 "_tracer", "_stats", "_before", "_clock", "_begin", "_finish")
+
+    def __init__(self, tracer: "Tracer", name: str, stats=None,
+                 attributes: dict | None = None) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._stats = stats
+        self.attributes = attributes if attributes is not None else {}
+        self.seconds = 0.0
+        self.counters: dict[str, int] = {}
+        self.children: list[Span] = []
+        self._before = None
+        self._clock = None
+        self._begin = None
+        self._finish = None
+
+    def _resolve_stats(self):
+        stats = self._stats
+        return stats() if callable(stats) else stats
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer._push(self)
+            if self._stats is not None:
+                self._before = counter_snapshot(self._resolve_stats())
+        self._begin = self._clock = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.pause()
+        self._finish = perf_counter()
+        tracer = self._tracer
+        if tracer.enabled:
+            if self._before is not None:
+                after = counter_snapshot(self._resolve_stats())
+                self.counters = {
+                    key: after[key] - before
+                    for key, before in self._before.items()
+                    if after.get(key, before) != before
+                }
+            tracer._pop(self)
+        return False
+
+    def pause(self) -> None:
+        """Stop the active clock (e.g. while a stream is suspended at a yield)."""
+        if self._clock is not None:
+            self.seconds += perf_counter() - self._clock
+            self._clock = None
+
+    def resume(self) -> None:
+        """Restart the active clock after a :meth:`pause`."""
+        if self._clock is None:
+            self._clock = perf_counter()
+
+    def elapsed(self) -> float:
+        """Active seconds so far, including the currently running stretch."""
+        if self._clock is None:
+            return self.seconds
+        return self.seconds + (perf_counter() - self._clock)
+
+    def annotate(self, **attributes) -> "Span":
+        """Attach attributes after entry (e.g. counts known only at the end)."""
+        self.attributes.update(attributes)
+        return self
+
+    def as_dict(self) -> dict:
+        data = {"name": self.name, "seconds": self.seconds}
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        if self.children:
+            data["children"] = [child.as_dict() for child in self.children]
+        return data
+
+
+class Tracer:
+    """Collects a tree of spans for one query (or one harness run).
+
+    Spans nest by lexical scope: a span entered while another is open becomes
+    its child.  Completed root spans land in :attr:`spans` in completion
+    order.  A tracer is single-threaded state — use one per query; merge at
+    the result level if needed.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._origin = perf_counter()
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+    def span(self, name: str, stats=None, **attributes) -> Span:
+        """A new span; enter it with ``with tracer.span("enumerate", ...):``."""
+        return Span(self, name, stats, attributes or None)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # defensive: out-of-order generator exits
+            self._stack.remove(span)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def window_seconds(self) -> float:
+        """Wall-clock from the first root span's start to the last one's end."""
+        roots = [span for span in self.spans if span._begin is not None]
+        if not roots:
+            return 0.0
+        begin = min(span._begin for span in roots)
+        end = max(span._finish if span._finish is not None
+                  else span._begin + span.seconds for span in roots)
+        return end - begin
+
+    def coverage(self) -> float:
+        """Fraction of the observed window covered by root spans (0..1)."""
+        window = self.window_seconds()
+        if window <= 0.0:
+            return 1.0 if self.spans else 0.0
+        return min(1.0, sum(span.seconds for span in self.spans) / window)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "window_seconds": self.window_seconds(),
+            "coverage": self.coverage(),
+            "spans": [span.as_dict() for span in self.spans],
+        }
+
+    def chrome_trace(self, pid: int | None = None) -> dict:
+        """The trace as Chrome trace-event JSON (complete ``"X"`` events).
+
+        Timestamps are microseconds relative to tracer creation; a paused
+        span is emitted with its active duration, so its bar may end before
+        its children's wall-clock span does.
+        """
+        pid = os.getpid() if pid is None else pid
+        events: list[dict] = [{
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "repro"},
+        }]
+
+        def emit(span: Span) -> None:
+            args = dict(span.attributes)
+            if span.counters:
+                args["counters"] = dict(span.counters)
+            events.append({
+                "name": span.name, "ph": "X", "cat": "repro",
+                "ts": round((span._begin - self._origin) * 1e6, 3),
+                "dur": round(span.seconds * 1e6, 3),
+                "pid": pid, "tid": 0, "args": args,
+            })
+            for child in span.children:
+                emit(child)
+
+        for root in self.spans:
+            emit(root)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str, format: str = "chrome") -> None:
+        """Serialise the trace to ``path`` as ``"chrome"`` or plain ``"json"``."""
+        if format not in ("chrome", "json"):
+            raise ValueError(f"unknown trace format {format!r}")
+        payload = self.chrome_trace() if format == "chrome" else self.as_dict()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+
+class _NullTracer(Tracer):
+    """The disabled tracer: spans time themselves but nothing is retained."""
+
+    enabled = False
+
+    def _push(self, span: Span) -> None:  # pragma: no cover - never called
+        pass
+
+    def _pop(self, span: Span) -> None:  # pragma: no cover - never called
+        pass
+
+
+#: Shared disabled tracer.  ``tracer = trace or NULL_TRACER`` is the idiom at
+#: every instrumented entry point.
+NULL_TRACER = _NullTracer()
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event schema validation (used by tests and the CI perf-smoke
+# job on the artifact emitted by `repro query --trace`).
+# ----------------------------------------------------------------------
+def validate_chrome_trace(payload) -> list[str]:
+    """Schema-check a Chrome trace-event payload; return a list of problems.
+
+    An empty list means the payload is loadable by Perfetto/chrome://tracing:
+    a ``traceEvents`` array of objects, each with a string ``name``, a phase
+    ``ph`` of ``"X"`` (complete) or ``"M"`` (metadata), integer ``pid`` /
+    ``tid``, and — for complete events — non-negative numeric ``ts`` and
+    ``dur``.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["trace payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}.name is not a non-empty string")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            errors.append(f"{where}.ph is {phase!r}, expected 'X' or 'M'")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                errors.append(f"{where}.{field} is not an integer")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(f"{where}.{field} is not a non-negative number")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            errors.append(f"{where}.args is not an object")
+    return errors
+
+
+def validate_chrome_trace_file(path: str) -> dict:
+    """Load ``path``, validate it, and raise ``ValueError`` on any problem."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    errors = validate_chrome_trace(payload)
+    if errors:
+        raise ValueError("invalid Chrome trace: " + "; ".join(errors))
+    return payload

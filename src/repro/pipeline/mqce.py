@@ -32,6 +32,7 @@ from ..core.dcfastqc import DCFastQC, DEFAULT_MAX_ROUNDS
 from ..core.fastqc import FastQC
 from ..core.stats import SearchStatistics
 from ..graph.graph import Graph
+from ..obs.trace import NULL_TRACER
 from ..quasiclique.definitions import validate_parameters
 from ..settrie.filter import filter_non_maximal
 from .results import EnumerationResult
@@ -56,7 +57,8 @@ def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "d
                      max_rounds: int = DEFAULT_MAX_ROUNDS,
                      maximality_filter: bool = True,
                      on_output: Callable[[frozenset], None] | None = None,
-                     should_stop: Callable[[], bool] | None = None):
+                     should_stop: Callable[[], bool] | None = None,
+                     progress=None, tracer=None):
     """Construct (but do not run) the requested MQCE-S1 enumerator.
 
     ``branching`` defaults to ``"hybrid"`` for FastQC/DCFastQC and ``"se"`` for
@@ -66,22 +68,28 @@ def build_enumerator(graph: Graph, gamma: float, theta: int, algorithm: str = "d
     ``"reference"``); only the naive baseline has no kernelized form.
     ``on_output`` and ``should_stop`` feed the streaming/cancellation path;
     the naive baseline ignores both (it materialises its answer in one
-    exhaustive pass).
+    exhaustive pass).  ``progress`` is an optional
+    :class:`repro.obs.ProgressTicker` branch-tick hook and ``tracer`` an
+    optional :class:`repro.obs.Tracer` (the DC driver records decompose /
+    shrink / subproblem spans); the naive baseline ignores both as well.
     """
     validate_parameters(gamma, theta)
     if algorithm == "dcfastqc":
         return DCFastQC(graph, gamma, theta, branching=branching or "hybrid",
                         framework=framework, kernel=kernel, max_rounds=max_rounds,
                         maximality_filter=maximality_filter,
-                        on_output=on_output, should_stop=should_stop)
+                        on_output=on_output, should_stop=should_stop,
+                        progress=progress, tracer=tracer)
     if algorithm == "fastqc":
         return FastQC(graph, gamma, theta, branching=branching or "hybrid",
                       kernel=kernel, maximality_filter=maximality_filter,
-                      on_output=on_output, should_stop=should_stop)
+                      on_output=on_output, should_stop=should_stop,
+                      progress=progress)
     if algorithm == "quickplus":
         return QuickPlus(graph, gamma, theta, branching=branching or "se",
                          kernel=kernel,
-                         on_output=on_output, should_stop=should_stop)
+                         on_output=on_output, should_stop=should_stop,
+                         progress=progress)
     if algorithm == "naive":
         return NaiveEnumerator(graph, gamma, theta)
     raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
@@ -97,8 +105,8 @@ def enumerate_candidate_quasi_cliques(graph: Graph, gamma: float, theta: int,
 
 
 def run_enumeration(graph: Graph, spec,
-                    should_stop: Callable[[], bool] | None = None
-                    ) -> EnumerationResult:
+                    should_stop: Callable[[], bool] | None = None,
+                    tracer=None, progress=None) -> EnumerationResult:
     """Run one full MQCE enumeration described by a :class:`repro.api.QuerySpec`.
 
     This is the canonical execution path for the ``enumerate`` workload: it
@@ -114,24 +122,33 @@ def run_enumeration(graph: Graph, spec,
     precedence — stops the enumeration cooperatively; the result is then
     marked ``truncated`` and holds the maximal sets of the candidates found
     so far (a best-effort subset).
+
+    ``tracer`` records the two phases as ``enumerate`` / ``filter`` spans
+    (and passes through to the DC driver's decompose/shrink spans);
+    ``progress`` receives branch ticks.  Both default to disabled.
     """
     algorithm = resolve_algorithm(spec.algorithm)
     framework = spec.framework if spec.framework is not None else "dc"
     if should_stop is None and spec.time_limit is not None:
         deadline = time.monotonic() + spec.time_limit
         should_stop = lambda: time.monotonic() >= deadline  # noqa: E731
+    obs = tracer if tracer is not None else NULL_TRACER
     enumerator = build_enumerator(graph, spec.gamma, spec.theta, algorithm=algorithm,
                                   branching=spec.branching, framework=framework,
                                   kernel=spec.kernel, max_rounds=spec.max_rounds,
                                   maximality_filter=spec.maximality_filter,
-                                  should_stop=should_stop)
-    start = time.perf_counter()
-    candidates = enumerator.enumerate()
-    enumeration_seconds = time.perf_counter() - start
+                                  should_stop=should_stop,
+                                  progress=progress, tracer=tracer)
+    with obs.span("enumerate", stats=lambda: enumerator.statistics,
+                  algorithm=algorithm) as enumerate_span:
+        candidates = enumerator.enumerate()
+        enumerate_span.annotate(candidates=len(candidates))
+    enumeration_seconds = enumerate_span.seconds
 
-    start = time.perf_counter()
-    maximal = filter_non_maximal(candidates, theta=spec.theta)
-    filtering_seconds = time.perf_counter() - start
+    with obs.span("filter", theta=spec.theta) as filter_span:
+        maximal = filter_non_maximal(candidates, theta=spec.theta)
+        filter_span.annotate(maximal=len(maximal))
+    filtering_seconds = filter_span.seconds
 
     return EnumerationResult(
         maximal_quasi_cliques=canonical_order(maximal),

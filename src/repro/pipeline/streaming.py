@@ -94,14 +94,16 @@ class QuasiCliqueStream(Iterator[frozenset]):
                  max_rounds: int = DEFAULT_MAX_ROUNDS,
                  maximality_filter: bool = True,
                  time_limit: float | None = None,
-                 max_results: int | None = None) -> None:
+                 max_results: int | None = None,
+                 progress=None, tracer=None) -> None:
         self.algorithm = resolve_algorithm(algorithm)
         self.framework = framework if framework is not None else "dc"
         self.budget = QueryBudget(time_limit, max_results)
         self.enumerator = build_enumerator(
             graph, gamma, theta, algorithm=self.algorithm, branching=branching,
             framework=self.framework, max_rounds=max_rounds,
-            maximality_filter=maximality_filter, should_stop=self.budget.expired)
+            maximality_filter=maximality_filter, should_stop=self.budget.expired,
+            progress=progress, tracer=tracer)
         self.theta = theta
         self.candidates: list[frozenset] = []
         self.subproblems_completed = 0
