@@ -1,0 +1,214 @@
+"""Serve-layer benchmark: closed-loop throughput and stampede coalescing.
+
+Boots a real :class:`repro.serve.ReproService` (asyncio server, wire
+protocol, admission control) in a background thread and drives it with
+blocking :class:`repro.serve.ServeClient` connections from worker threads —
+the same path a deployment takes, socket framing included.  Two scenarios:
+
+* **closed-loop hot/cold mix** — N clients each run one cold query then a
+  train of identical hot (cache-served) queries against registry dataset
+  analogues; reports queries/second and client-observed time-to-first-batch
+  for both temperatures.
+* **stampede A/B** — K clients fire the *same* cold query simultaneously at
+  (a) a coalescing server (single-flight: one enumeration for the whole
+  stampede) and (b) a server with coalescing disabled (every client
+  enumerates under the same admission limits).  The coalesced wall-clock
+  must beat the uncoalesced stampede by ``STAMPEDE_SPEEDUP_FLOOR`` — the
+  guarantee that single-flight actually collapses redundant work, not just
+  deduplicates bookkeeping.
+
+Run with:  pytest benchmarks/bench_serve_throughput.py --benchmark-only
+
+Setting ``REPRO_BENCH_QUICK=1`` (the CI smoke mode) shrinks the spread to
+one dataset and fewer clients while keeping the speedup assertion.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.datasets import get_spec, load_dataset
+from repro.serve import ReproService, ServeClient, start_in_thread
+
+from _bench_utils import attach_rows, run_once
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: (dataset, gamma, theta) rows for the hot/cold mix: registry defaults.
+MIX_DATASETS = (("ca-grqc",) if QUICK else ("ca-grqc", "enron", "condmat"))
+
+#: Clients and hot queries per client in the closed loop.
+MIX_CLIENTS = 4 if QUICK else 8
+MIX_HOT_QUERIES = 5 if QUICK else 10
+
+#: The stampede: K identical cold queries at once.  The parameters are
+#: deliberately harder than the registry defaults so one enumeration takes
+#: ~50-200ms and dominates per-request protocol overhead.
+STAMPEDE_DATASET, STAMPEDE_GAMMA, STAMPEDE_THETA = (
+    ("ca-grqc", 0.7, 5) if QUICK else ("enron", 0.75, 6))
+STAMPEDE_CLIENTS = 6 if QUICK else 8
+STAMPEDE_CONCURRENCY = 2
+
+#: Coalesced stampede wall-clock must beat uncoalesced by at least this.
+#: Theoretical gain is STAMPEDE_CLIENTS / STAMPEDE_CONCURRENCY (4x full, 3x
+#: quick); the floor leaves headroom for scheduling noise.
+STAMPEDE_SPEEDUP_FLOOR = 1.5 if QUICK else 2.0
+
+
+def _boot(name: str, *, single_flight: bool = True,
+          max_concurrent: int = 4, max_queue: int = 64):
+    service = ReproService(max_concurrent=max_concurrent, max_queue=max_queue,
+                           single_flight=single_flight)
+    service.add_graph(name, load_dataset(name))
+    return service, start_in_thread(service)
+
+
+def _timed_query(port: int, fields: dict) -> tuple[float, float, bool]:
+    """One query over a fresh connection: (total s, first-batch s, from_cache)."""
+    start = time.perf_counter()
+    first_batch = None
+    done: dict = {}
+    with ServeClient(port=port) as client:
+        for frame in client.query_stream(fields):
+            if frame["type"] == "batch" and first_batch is None:
+                first_batch = time.perf_counter() - start
+            if frame["type"] == "done":
+                done = frame
+    total = time.perf_counter() - start
+    return total, (first_batch if first_batch is not None else total), bool(
+        done.get("from_cache"))
+
+
+# ----------------------------------------------------------------------
+# Closed-loop hot/cold mix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", MIX_DATASETS)
+def test_serve_closed_loop_throughput(benchmark, name):
+    spec = get_spec(name)
+    fields = {"gamma": spec.default_gamma, "theta": spec.default_theta}
+    service, handle = _boot(name)
+    samples: list[tuple[float, float, bool]] = []
+    lock = threading.Lock()
+
+    def client_loop() -> None:
+        for _ in range(1 + MIX_HOT_QUERIES):
+            sample = _timed_query(handle.port, fields)
+            with lock:
+                samples.append(sample)
+
+    def closed_loop() -> float:
+        threads = [threading.Thread(target=client_loop)
+                   for _ in range(MIX_CLIENTS)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - start
+
+    try:
+        wall = run_once(benchmark, closed_loop)
+    finally:
+        handle.stop()
+
+    total = MIX_CLIENTS * (1 + MIX_HOT_QUERIES)
+    assert len(samples) == total
+    hot = [s for s in samples if s[2]]
+    cold = [s for s in samples if not s[2]]
+    # The very first arrival executes; post-cache traffic reports hot.
+    assert hot, "no cache-served queries in a closed hot/cold loop"
+    qps = total / wall
+    rows = [{
+        "dataset": name, "clients": MIX_CLIENTS, "queries": total,
+        "wall_seconds": round(wall, 4), "queries_per_second": round(qps, 1),
+        "cold_queries": len(cold),
+        "cold_ttfb_ms": round(1000 * min(s[1] for s in cold), 2) if cold else None,
+        "hot_ttfb_ms": round(1000 * min(s[1] for s in hot), 2),
+        "hot_mean_ms": round(1000 * sum(s[0] for s in hot) / len(hot), 2),
+    }]
+    attach_rows(benchmark, rows)
+    print()
+    for row in rows:
+        print(f"# serve {name}: {row['queries_per_second']} q/s over "
+              f"{MIX_CLIENTS} clients ({row['cold_queries']} cold, "
+              f"hot TTFB {row['hot_ttfb_ms']}ms)")
+    assert qps > 1.0  # sanity floor: the service must actually stream
+
+
+# ----------------------------------------------------------------------
+# Stampede A/B: coalesced vs uncoalesced
+# ----------------------------------------------------------------------
+def _stampede_wall(port: int, service: ReproService, fields: dict) -> float:
+    """Fire STAMPEDE_CLIENTS identical cold queries; wall-clock to drain all."""
+    with ServeClient(port=port) as control:
+        control.flush()  # cold again: drop the server-side result cache
+    barrier = threading.Barrier(STAMPEDE_CLIENTS)
+    failures: list[BaseException] = []
+
+    def one_client() -> None:
+        try:
+            with ServeClient(port=port) as client:
+                barrier.wait(timeout=30)
+                cliques, done = client.query(fields)
+                assert done["finished"] and cliques
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=one_client)
+               for _ in range(STAMPEDE_CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    wall = time.perf_counter() - start
+    assert not failures, failures
+    return wall
+
+
+def test_stampede_coalescing_speedup(benchmark):
+    # The generous time_limit never triggers, but it makes the spec
+    # uncacheable by design — so in the uncoalesced server every client
+    # genuinely enumerates instead of replaying the first leader's cached
+    # result, which is exactly the redundant work single-flight collapses.
+    fields = {"gamma": STAMPEDE_GAMMA, "theta": STAMPEDE_THETA,
+              "time_limit": 300}
+
+    def run_ab() -> tuple[float, float]:
+        service, handle = _boot(STAMPEDE_DATASET, single_flight=True,
+                                max_concurrent=STAMPEDE_CONCURRENCY)
+        try:
+            coalesced = _stampede_wall(handle.port, service, fields)
+        finally:
+            handle.stop()
+        service, handle = _boot(STAMPEDE_DATASET, single_flight=False,
+                                max_concurrent=STAMPEDE_CONCURRENCY)
+        try:
+            uncoalesced = _stampede_wall(handle.port, service, fields)
+        finally:
+            handle.stop()
+        return coalesced, uncoalesced
+
+    coalesced, uncoalesced = run_once(benchmark, run_ab)
+    speedup = uncoalesced / coalesced if coalesced else float("inf")
+    rows = [{
+        "dataset": STAMPEDE_DATASET, "gamma": STAMPEDE_GAMMA,
+        "theta": STAMPEDE_THETA, "clients": STAMPEDE_CLIENTS,
+        "max_concurrent": STAMPEDE_CONCURRENCY,
+        "coalesced_seconds": round(coalesced, 4),
+        "uncoalesced_seconds": round(uncoalesced, 4),
+        "speedup": round(speedup, 2),
+        "floor": STAMPEDE_SPEEDUP_FLOOR,
+    }]
+    attach_rows(benchmark, rows)
+    print()
+    print(f"# stampede x{STAMPEDE_CLIENTS} on {STAMPEDE_DATASET}: "
+          f"coalesced {coalesced:.3f}s vs uncoalesced {uncoalesced:.3f}s "
+          f"-> {speedup:.1f}x (floor {STAMPEDE_SPEEDUP_FLOOR}x)")
+    assert speedup >= STAMPEDE_SPEEDUP_FLOOR, (
+        f"single-flight stampede speedup {speedup:.2f}x fell below the "
+        f"{STAMPEDE_SPEEDUP_FLOOR}x floor")

@@ -199,16 +199,36 @@ class QuerySpec:
             raise SpecError("a QuerySpec requires at least 'gamma'")
         return cls(**dict(data))
 
-    @classmethod
-    def from_json(cls, text: str) -> "QuerySpec":
-        """Parse a spec from a JSON object string (the CLI ``--spec`` format)."""
+    def to_json(self) -> str:
+        """The canonical JSON serialisation of this spec.
+
+        Sorted keys, no whitespace, default-valued fields omitted — so two
+        equal specs always serialise to the same bytes (the ``repro serve``
+        wire format and the CLI ``--spec`` files both rely on this), and
+        ``QuerySpec.from_json(spec.to_json()) == spec`` round-trips exactly.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def fields_from_json(text: str) -> dict[str, Any]:
+        """Parse a JSON object string into a QuerySpec field mapping.
+
+        Shared by :meth:`from_json`, the CLI ``--spec`` reader (which overlays
+        flag overrides before construction) and the serve protocol; raises
+        :class:`SpecError` for malformed documents.
+        """
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise SpecError(f"invalid JSON for QuerySpec: {exc}") from exc
         if not isinstance(payload, Mapping):
             raise SpecError("a QuerySpec JSON document must be an object")
-        return cls.from_dict(payload)
+        return dict(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QuerySpec":
+        """Parse a spec from a JSON object string (inverse of :meth:`to_json`)."""
+        return cls.from_dict(cls.fields_from_json(text))
 
     def describe(self) -> str:
         """A compact one-line description for logs and CLI headers."""

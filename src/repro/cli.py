@@ -28,6 +28,17 @@ Sub-commands
                updates incrementally, query again — reporting which cache
                entries survived) and ``dynamic stats`` (patch counters, core
                drift and invalidation statistics after the updates).
+``serve``      Boot the long-lived query service: named graphs behind the
+               line-delimited JSON protocol with single-flight coalescing,
+               admission control, in-band mutations and a single-port HTTP
+               shim for ``GET /metrics`` scrapes (see :mod:`repro.serve`).
+``client``     Talk to a running server: run a query (``--query``/``--spec``),
+               apply a mutation script (``--mutate``), or hit the control
+               operations (``--stats``, ``--graphs``, ``--ping``, ``--flush``,
+               ``--shutdown``).
+``worker``     Pull-based fan-out worker: claim compact DC subproblem payloads
+               from a file-backed spool queue (``--spool DIR``), enumerate
+               them, and publish candidate batches for the coordinator.
 
 Errors derived from :class:`repro.errors.ReproError` (bad parameters, invalid
 specs, unsatisfiable queries) exit with code 2 and a one-line message instead
@@ -205,13 +216,13 @@ def _build_query_spec(args: argparse.Namespace) -> QuerySpec:
     fields: dict = {}
     if args.spec:
         try:
-            fields = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+            text = Path(args.spec).read_text(encoding="utf-8")
         except OSError as exc:
             raise SpecError(f"cannot read spec file {args.spec}: {exc}") from exc
-        except json.JSONDecodeError as exc:
-            raise SpecError(f"invalid JSON in spec file {args.spec}: {exc}") from exc
-        if not isinstance(fields, dict):
-            raise SpecError(f"spec file {args.spec} must contain a JSON object")
+        try:
+            fields = QuerySpec.fields_from_json(text)
+        except SpecError as exc:
+            raise SpecError(f"spec file {args.spec}: {exc}") from exc
     # Precedence: explicit flags > --spec file > dataset defaults.
     if args.gamma is not None:
         fields["gamma"] = args.gamma
@@ -538,6 +549,118 @@ def _command_dynamic_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# The `serve` / `client` / `worker` commands (repro.serve)
+# ----------------------------------------------------------------------
+#: Default TCP port of `repro serve` / `repro client` (0 = ephemeral).
+DEFAULT_SERVE_PORT = 7411
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ReproService
+
+    service = ReproService(
+        host=args.host, port=args.port,
+        max_concurrent=args.max_concurrent, max_queue=args.max_queue,
+        default_time_limit=args.default_time_limit,
+        max_time_limit=args.max_time_limit, max_results=args.max_results,
+        batch_size=args.batch_size, single_flight=not args.no_coalesce,
+        allow_shutdown=args.allow_shutdown, trace_dir=args.trace_dir)
+    for name in args.dataset or []:
+        service.add_dataset(name)
+    if args.input:
+        service.add_graph(args.name or args.input, read_edge_list(args.input))
+    if not service.hosts:
+        raise SystemExit("nothing to serve: give --dataset NAME (repeatable) "
+                         "and/or --input FILE")
+
+    async def _run() -> None:
+        await service.start()
+        print(f"# serving {', '.join(sorted(service.hosts))} on "
+              f"{service.host}:{service.port} "
+              f"(max {service.admission.max_concurrent} concurrent, "
+              f"queue {service.admission.max_queue}"
+              f"{', coalescing' if service.single_flight else ''})",
+              flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    return 0
+
+
+def _command_client(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+
+    with ServeClient(host=args.host, port=args.port,
+                     timeout=args.timeout) as client:
+        if args.query or args.spec:
+            if args.spec:
+                spec_fields = QuerySpec.fields_from_json(
+                    Path(args.spec).read_text(encoding="utf-8"))
+            else:
+                spec_fields = QuerySpec.fields_from_json(args.query)
+            done: dict = {}
+            count = 0
+            for frame in client.query_stream(spec_fields, graph=args.graph,
+                                             batch=args.batch):
+                if frame["type"] == "batch":
+                    for clique in frame["cliques"]:
+                        count += 1
+                        if args.json:
+                            print(json.dumps({"clique": clique}), flush=True)
+                        else:
+                            print(" ".join(str(v) for v in clique), flush=True)
+                else:
+                    done = frame
+            if args.json:
+                print(json.dumps(done))
+            else:
+                print(f"# {done.get('delivered', count)} answers "
+                      f"({'cache' if done.get('from_cache') else 'executed'}"
+                      f"{'; coalesced' if done.get('coalesced') else ''}; "
+                      f"{done.get('seconds', 0):.3f}s server-side)")
+        elif args.mutate:
+            script = Path(args.mutate).read_text(encoding="utf-8")
+            report = client.mutate(script=script, graph=args.graph)
+            print(json.dumps(report, indent=2) if args.json
+                  else f"# {report.get('mutations', '?')} mutations applied; "
+                       f"cache: {report.get('invalidated', '?')} invalidated, "
+                       f"{report.get('retained', '?')} retained")
+        elif args.stats:
+            print(json.dumps(client.stats(), indent=2))
+        elif args.graphs:
+            print(json.dumps(client.graphs(), indent=2))
+        elif args.flush:
+            print(f"# {client.flush(args.graph)} cached results flushed")
+        elif args.shutdown:
+            client.shutdown()
+            print("# server shut down")
+        else:
+            client.ping()
+            print("# pong")
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .serve import SpoolWorker
+
+    worker = SpoolWorker(args.spool, worker_id=args.worker_id)
+
+    def _report(w) -> None:
+        print(f"# {w.worker_id}: {w.processed} tasks processed", flush=True)
+
+    processed = worker.run(max_tasks=args.max_tasks,
+                           idle_timeout=args.idle_timeout, poll=args.poll,
+                           progress=_report if args.verbose else None)
+    print(f"# worker {worker.worker_id} done: {processed} tasks")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mqce",
@@ -725,6 +848,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(dstats_sub)
     dstats_sub.add_argument("--updates", "-u", help="update script applied first")
     dstats_sub.set_defaults(handler=_command_dynamic_stats)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="boot the long-lived query service (repro.serve)")
+    serve_parser.add_argument("--dataset", "-d", action="append",
+                              help="registered dataset analogue to serve "
+                              "(repeatable)")
+    serve_parser.add_argument("--input", "-i", help="edge-list file to serve")
+    serve_parser.add_argument("--name", help="graph name for --input "
+                              "(default: the file path)")
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=DEFAULT_SERVE_PORT,
+                              help=f"TCP port (default {DEFAULT_SERVE_PORT}; "
+                              "0 = ephemeral, printed on startup)")
+    serve_parser.add_argument("--max-concurrent", type=int, default=4,
+                              help="enumeration slots (default 4)")
+    serve_parser.add_argument("--max-queue", type=int, default=16,
+                              help="slot wait-queue bound before load shedding "
+                              "(default 16)")
+    serve_parser.add_argument("--batch-size", type=int, default=64,
+                              help="cliques per batch frame (default 64)")
+    serve_parser.add_argument("--default-time-limit", type=float, metavar="SECONDS",
+                              help="time budget applied to requests that carry none")
+    serve_parser.add_argument("--max-time-limit", type=float, metavar="SECONDS",
+                              help="hard cap on per-request time budgets")
+    serve_parser.add_argument("--max-results", type=int, metavar="N",
+                              help="hard cap on per-request result budgets")
+    serve_parser.add_argument("--no-coalesce", action="store_true",
+                              help="disable single-flight coalescing of "
+                              "identical in-flight queries (A/B testing)")
+    serve_parser.add_argument("--allow-shutdown", action="store_true",
+                              help="honour the 'shutdown' wire operation")
+    serve_parser.add_argument("--trace-dir", metavar="DIR",
+                              help="write a Chrome trace per query request here")
+    serve_parser.set_defaults(handler=_command_serve)
+
+    client_parser = subparsers.add_parser(
+        "client", help="talk to a running repro serve instance")
+    client_parser.add_argument("--host", default="127.0.0.1", help="server address")
+    client_parser.add_argument("--port", type=int, default=DEFAULT_SERVE_PORT,
+                               help=f"server port (default {DEFAULT_SERVE_PORT})")
+    client_parser.add_argument("--graph", help="target graph name (needed only "
+                               "when the server hosts several)")
+    client_parser.add_argument("--timeout", type=float, default=60.0,
+                               help="socket timeout in seconds (default 60)")
+    client_action = client_parser.add_mutually_exclusive_group()
+    client_action.add_argument("--query", metavar="JSON",
+                               help="QuerySpec fields as an inline JSON object")
+    client_action.add_argument("--spec", metavar="FILE",
+                               help="JSON file with QuerySpec fields")
+    client_action.add_argument("--mutate", metavar="FILE",
+                               help="update script to apply server-side")
+    client_action.add_argument("--stats", action="store_true",
+                               help="print server statistics")
+    client_action.add_argument("--graphs", action="store_true",
+                               help="list the served graphs")
+    client_action.add_argument("--flush", action="store_true",
+                               help="drop the server's cached results")
+    client_action.add_argument("--shutdown", action="store_true",
+                               help="stop the server (needs --allow-shutdown "
+                               "server-side)")
+    client_parser.add_argument("--batch", type=int, metavar="N",
+                               help="cliques per batch frame")
+    client_parser.add_argument("--json", action="store_true", help="print JSON only")
+    client_parser.set_defaults(handler=_command_client)
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="pull-based spool worker for distributed enumeration")
+    worker_parser.add_argument("--spool", required=True, metavar="DIR",
+                               help="spool queue directory shared with the "
+                               "coordinator")
+    worker_parser.add_argument("--max-tasks", type=int, metavar="N",
+                               help="exit after processing N tasks")
+    worker_parser.add_argument("--idle-timeout", type=float, metavar="SECONDS",
+                               help="exit after this long with nothing to claim "
+                               "(default: poll forever)")
+    worker_parser.add_argument("--poll", type=float, default=0.1,
+                               help="idle poll interval in seconds (default 0.1)")
+    worker_parser.add_argument("--worker-id", help="stable worker identity "
+                               "(default: host-pid)")
+    worker_parser.add_argument("--verbose", "-v", action="store_true",
+                               help="print a line per processed task")
+    worker_parser.set_defaults(handler=_command_worker)
 
     return parser
 

@@ -22,6 +22,7 @@ cooperative cancellation.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections.abc import Iterator
 
@@ -61,6 +62,12 @@ class ResultStream(Iterator[frozenset]):
         self._key = key
         self._use_cache = use_cache
         self._inner: QuasiCliqueStream | None = None
+        # cancel() may be called from any thread (the serve layer cancels
+        # from the asyncio loop while an executor thread consumes the
+        # stream), possibly before iteration has created the inner stream;
+        # the lock makes the flag hand-off to _live() race-free.
+        self._cancel_lock = threading.Lock()
+        self._cancelled = False
         self._start = time.perf_counter()
         # The graph version the cache key was derived from.  Caching on
         # completion is gated on this exact version — not on the prepared
@@ -93,20 +100,38 @@ class ResultStream(Iterator[frozenset]):
         return next(self._iterator)
 
     def cancel(self) -> None:
-        """Request cooperative cancellation of a live stream."""
-        if self._inner is not None:
-            self._inner.cancel()
+        """Request cooperative cancellation of the stream.
+
+        Thread-safe and idempotent: safe to call from a thread other than the
+        consumer's (the next yield boundary stops delivery), repeatedly, and
+        even before iteration starts — a live enumeration created afterwards
+        is born cancelled.
+        """
+        with self._cancel_lock:
+            if self._cancelled:
+                return
+            self._cancelled = True
+            inner = self._inner
+        if inner is not None:
+            inner.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been requested (by any thread)."""
+        return self._cancelled
 
     # ------------------------------------------------------------------
     def _deliver(self, cliques, path: str) -> Iterator[frozenset]:
         limit = self.spec.max_results
         for clique in cliques:
-            if limit is not None and self.delivered >= limit:
+            if self._cancelled or (limit is not None and self.delivered >= limit):
                 self.truncated = True
                 return
             self.delivered += 1
             _YIELDS.inc(path=path)
             yield clique
+        if self._cancelled:
+            self.truncated = True
         self.finished = not self.truncated
 
     def _replay(self, result: EnumerationResult) -> Iterator[frozenset]:
@@ -145,7 +170,11 @@ class ResultStream(Iterator[frozenset]):
             max_rounds=spec.max_rounds, maximality_filter=spec.maximality_filter,
             time_limit=spec.time_limit, max_results=spec.max_results,
             progress=self._progress, tracer=self.tracer)
-        self._inner = inner
+        with self._cancel_lock:
+            self._inner = inner
+            born_cancelled = self._cancelled
+        if born_cancelled:
+            inner.cancel()
         collected: list[frozenset] = []
         # Only time spent *inside* the enumerator counts; the span's clock
         # pauses while the generator is suspended at `yield`, so a slow

@@ -49,10 +49,27 @@ class EngineError(QueryError):
     """Raised for invalid engine usage (e.g. querying a mutated prepared graph)."""
 
 
+class ServiceOverloadedError(ReproError):
+    """Raised when the serving layer sheds a request instead of queueing it.
+
+    The ``repro serve`` admission controller raises (and wire-encodes) this
+    when every enumeration slot is busy and the bounded wait queue is full —
+    the client should back off and retry rather than pile on.  Not a
+    :class:`QueryError`: the query was fine, the server was saturated.
+    """
+
+    def __init__(self, message: str = "service overloaded", *,
+                 running: int | None = None, queued: int | None = None) -> None:
+        super().__init__(message)
+        self.running = running
+        self.queued = queued
+
+
 __all__ = [
     "ReproError",
     "QueryError",
     "ParameterError",
     "SpecError",
     "EngineError",
+    "ServiceOverloadedError",
 ]

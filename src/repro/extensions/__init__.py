@@ -13,7 +13,8 @@ from .topk import (
     top_k_summary,
 )
 from .query import QueryError, community_of, find_quasi_cliques_containing
-from .parallel import ParallelDCFastQC, parallel_enumerate
+from .parallel import (ParallelDCFastQC, parallel_enumerate,
+                       run_compact_subproblem)
 
 __all__ = [
     "expand_kernel",
@@ -26,4 +27,5 @@ __all__ = [
     "find_quasi_cliques_containing",
     "ParallelDCFastQC",
     "parallel_enumerate",
+    "run_compact_subproblem",
 ]

@@ -77,24 +77,38 @@ def _initialise_worker(config: _WorkerConfig) -> None:
     _WORKER_STATE["config"] = config
 
 
-def _run_subproblem(subproblem: CompactSubproblem) -> tuple[list[frozenset], dict]:
-    """Enumerate one compact DC subproblem inside a worker process.
+def run_compact_subproblem(subproblem: CompactSubproblem, gamma: float,
+                           theta: int, branching: str = "hybrid",
+                           kernel: str = "ledger"
+                           ) -> tuple[list[frozenset], dict]:
+    """Enumerate one compact DC subproblem (the worker-side unit of work).
 
     The maximality filter checks single-vertex extensions against the ball
     plus its one-hop halo, which decides exactly like the sequential driver's
     full-graph check (any extension vertex is adjacent to the candidate set,
-    hence inside ball ∪ halo).  Returns the candidate sets plus a metrics
-    snapshot for the parent to merge (see :func:`_worker_metrics`).
+    hence inside ball ∪ halo) — so the emitted candidate sets are *identical*
+    to the sequential driver's for this root, wherever the payload runs: a
+    pool worker process here or a ``repro worker`` spool consumer
+    (:mod:`repro.serve.worker`).  Returns the candidate sets plus a metrics
+    snapshot for the coordinating process to merge (see
+    :func:`_worker_metrics`).
     """
-    config: _WorkerConfig = _WORKER_STATE["config"]
     graph = subproblem.build_graph()
     maximality = (subproblem.build_maximality_graph()
                   if subproblem.halo_labels else graph)
-    engine = FastQC(graph, config.gamma, config.theta,
-                    branching=config.branching, kernel=config.kernel,
+    engine = FastQC(graph, gamma, theta,
+                    branching=branching, kernel=kernel,
                     maximality_graph=maximality)
     chunk = engine.enumerate_branch(subproblem.initial_branch())
     return chunk, _worker_metrics(engine, subproblem)
+
+
+def _run_subproblem(subproblem: CompactSubproblem) -> tuple[list[frozenset], dict]:
+    """Pool-worker entry point: one subproblem under the per-process config."""
+    config: _WorkerConfig = _WORKER_STATE["config"]
+    return run_compact_subproblem(subproblem, config.gamma, config.theta,
+                                  branching=config.branching,
+                                  kernel=config.kernel)
 
 
 class ParallelDCFastQC:

@@ -1,0 +1,140 @@
+"""Admission control for the serve layer: bounded concurrency, bounded queue.
+
+A production enumeration service must not melt under a traffic spike: running
+every arriving cold query concurrently just thrashes the CPU and delivers
+nothing on time.  The :class:`AdmissionController` enforces three limits:
+
+* **max_concurrent** — at most this many enumerations execute at once
+  (a semaphore; one slot per single-flight *leader*, so coalesced waiters are
+  free).
+* **max_queue** — at most this many admitted-but-waiting enumerations may
+  queue for a slot.  Beyond that the controller *sheds load*: it raises the
+  typed :class:`repro.errors.ServiceOverloadedError` immediately instead of
+  accepting unbounded latency, and the in-flight work is untouched.
+* **per-request budgets** — :meth:`apply_budgets` overlays the server's
+  budget policy onto each incoming :class:`repro.api.QuerySpec`: a default
+  ``time_limit`` for specs that carry none, a hard ``max_time_limit`` cap,
+  and a ``max_results`` cap, so one greedy request cannot hold a slot
+  forever.
+
+Everything is asyncio-native and must be used from the server's event loop;
+the enumeration itself runs in an executor thread while the slot is held.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from dataclasses import replace
+
+from ..api.spec import QuerySpec
+from ..errors import ServiceOverloadedError
+from ..obs.metrics import REGISTRY
+
+_SHED = REGISTRY.counter(
+    "repro_serve_shed_total",
+    "Requests shed by admission control (ServiceOverloadedError)")
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_serve_queue_depth",
+    "Enumerations admitted but waiting for a concurrency slot")
+_ACTIVE = REGISTRY.gauge(
+    "repro_serve_active_enumerations",
+    "Enumerations currently holding a concurrency slot")
+
+
+class AdmissionController:
+    """Semaphore-bounded enumeration slots with a bounded, load-shedding queue.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Enumeration slots (>= 1).
+    max_queue:
+        How many slot-waiters may queue before new arrivals are shed (>= 0).
+    default_time_limit / max_time_limit / max_results:
+        The per-request budget policy applied by :meth:`apply_budgets`
+        (``None`` disables each knob).
+    """
+
+    def __init__(self, max_concurrent: int = 4, max_queue: int = 16,
+                 default_time_limit: float | None = None,
+                 max_time_limit: float | None = None,
+                 max_results: int | None = None) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be a positive integer")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.default_time_limit = default_time_limit
+        self.max_time_limit = max_time_limit
+        self.max_results = max_results
+        self._semaphore = asyncio.Semaphore(max_concurrent)
+        self.running = 0
+        self.waiting = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------
+    # Budget policy
+    # ------------------------------------------------------------------
+    def apply_budgets(self, spec: QuerySpec) -> QuerySpec:
+        """Overlay the server's budget policy on one incoming spec."""
+        changes: dict = {}
+        time_limit = spec.time_limit
+        if time_limit is None and self.default_time_limit is not None:
+            changes["time_limit"] = self.default_time_limit
+        elif (time_limit is not None and self.max_time_limit is not None
+                and time_limit > self.max_time_limit):
+            changes["time_limit"] = self.max_time_limit
+        if self.max_results is not None and (spec.max_results is None
+                                             or spec.max_results > self.max_results):
+            changes["max_results"] = self.max_results
+        return replace(spec, **changes) if changes else spec
+
+    # ------------------------------------------------------------------
+    # Slots
+    # ------------------------------------------------------------------
+    @asynccontextmanager
+    async def slot(self):
+        """Hold one enumeration slot, shedding when the wait queue is full."""
+        if self.running >= self.max_concurrent and self.waiting >= self.max_queue:
+            self.shed_total += 1
+            _SHED.inc()
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.running} running, "
+                f"{self.waiting} queued); retry later",
+                running=self.running, queued=self.waiting)
+        self.waiting += 1
+        _QUEUE_DEPTH.set(self.waiting)
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self.waiting -= 1
+            _QUEUE_DEPTH.set(self.waiting)
+        self.running += 1
+        self.admitted_total += 1
+        _ACTIVE.set(self.running)
+        try:
+            yield self
+        finally:
+            self.running -= 1
+            _ACTIVE.set(self.running)
+            self._semaphore.release()
+
+    def stats(self) -> dict:
+        """Point-in-time admission counters for ``stats`` frames."""
+        return {
+            "max_concurrent": self.max_concurrent,
+            "max_queue": self.max_queue,
+            "running": self.running,
+            "waiting": self.waiting,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "default_time_limit": self.default_time_limit,
+            "max_time_limit": self.max_time_limit,
+            "max_results": self.max_results,
+        }
+
+
+__all__ = ["AdmissionController"]

@@ -1,0 +1,177 @@
+"""A blocking client for the ``repro serve`` wire protocol.
+
+:class:`ServeClient` is deliberately synchronous — plain sockets, no asyncio —
+so tests, benchmarks and the ``repro client`` CLI can drive the server from
+ordinary threads.  One client holds one connection and may issue any number
+of sequential requests over it; error frames come back as the matching typed
+:class:`repro.errors.ReproError` subclass (see
+:func:`repro.serve.protocol.exception_from_payload`), so
+``except ServiceOverloadedError`` works across the wire.
+
+>>> with ServeClient(port=service.port) as client:
+...     cliques, done = client.query({"gamma": 0.9, "theta": 3})
+...     client.mutate([("add_edge", "a", "b")])
+...     cliques2, _ = client.query({"gamma": 0.9, "theta": 3})
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Iterable, Iterator, Mapping
+
+from ..api.spec import QuerySpec
+from ..errors import ReproError
+from .protocol import (decode_frame, encode_frame, exception_from_payload,
+                       wire_to_clique)
+
+
+class ServeClient:
+    """One blocking protocol connection to a :class:`ReproService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float | None = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _send(self, request: dict) -> None:
+        self._sock.sendall(encode_frame(request))
+
+    def _recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ReproError("server closed the connection mid-request")
+        return decode_frame(line)
+
+    def _recv_terminal(self) -> dict:
+        frame = self._recv()
+        if frame.get("type") == "error":
+            raise exception_from_payload(frame)
+        return frame
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_stream(self, spec: QuerySpec | Mapping, *,
+                     graph: str | None = None,
+                     batch: int | None = None) -> Iterator[dict]:
+        """Run one query, yielding every frame (``batch`` then ``done``).
+
+        Raises the reconstructed typed exception on an ``error`` frame.  The
+        generator must be consumed fully (or the connection abandoned) before
+        the next request on this client.
+        """
+        if isinstance(spec, QuerySpec):
+            spec = spec.to_dict()
+        request: dict = {"op": "query", "spec": dict(spec)}
+        if graph is not None:
+            request["graph"] = graph
+        if batch is not None:
+            request["batch"] = batch
+        self._send(request)
+        while True:
+            frame = self._recv()
+            kind = frame.get("type")
+            if kind == "error":
+                raise exception_from_payload(frame)
+            yield frame
+            if kind != "batch":
+                return
+
+    def query(self, spec: QuerySpec | Mapping, *, graph: str | None = None,
+              batch: int | None = None) -> tuple[list[frozenset], dict]:
+        """Run one query to completion: ``(cliques, done_frame)``."""
+        cliques: list[frozenset] = []
+        done: dict = {}
+        for frame in self.query_stream(spec, graph=graph, batch=batch):
+            if frame["type"] == "batch":
+                cliques.extend(wire_to_clique(entry)
+                               for entry in frame["cliques"])
+            else:
+                done = frame
+        return cliques, done
+
+    # ------------------------------------------------------------------
+    # Mutations and control
+    # ------------------------------------------------------------------
+    def mutate(self, updates: Iterable | None = None, *,
+               script: str | None = None, graph: str | None = None) -> dict:
+        """Apply a mutation batch; returns the server's ``report`` frame."""
+        request: dict = {"op": "mutate"}
+        if updates is not None:
+            request["updates"] = [list(entry) for entry in updates]
+        if script is not None:
+            request["script"] = script
+        if graph is not None:
+            request["graph"] = graph
+        self._send(request)
+        return self._recv_terminal()
+
+    def graphs(self) -> dict:
+        self._send({"op": "graphs"})
+        return self._recv_terminal()["graphs"]
+
+    def stats(self) -> dict:
+        self._send({"op": "stats"})
+        return self._recv_terminal()
+
+    def ping(self) -> bool:
+        self._send({"op": "ping"})
+        return self._recv_terminal().get("type") == "pong"
+
+    def flush(self, graph: str | None = None) -> int:
+        """Drop the server's cached results; returns entries flushed."""
+        request: dict = {"op": "flush"}
+        if graph is not None:
+            request["graph"] = graph
+        self._send(request)
+        return int(self._recv_terminal().get("entries", 0))
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (needs ``allow_shutdown=True`` server-side)."""
+        self._send({"op": "shutdown"})
+        self._recv_terminal()
+
+
+def fetch_http(path: str, host: str = "127.0.0.1", port: int = 0, *,
+               timeout: float | None = 10.0) -> tuple[int, str]:
+    """One plain ``GET`` against the server's HTTP shim: ``(status, body)``.
+
+    Used by tests, the benchmark and the CI smoke job to scrape
+    ``/metrics`` without an HTTP client dependency.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n"
+                     .encode("latin-1"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    response = b"".join(chunks).decode("utf-8", errors="replace")
+    head, _, body = response.partition("\r\n\r\n")
+    try:
+        status = int(head.split()[1])
+    except (IndexError, ValueError):
+        raise ReproError(f"malformed HTTP response: {head[:120]!r}")
+    return status, body
+
+
+__all__ = ["ServeClient", "fetch_http"]

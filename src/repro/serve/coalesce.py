@@ -1,0 +1,148 @@
+"""Single-flight coalescing: one enumeration per identical in-flight query.
+
+A stampede — many clients asking the same cold question at once — is the
+classic cache failure mode: every request misses (the first has not finished,
+so nothing is cached yet) and the server runs N identical enumerations.  The
+:class:`SingleFlight` table keys in-flight queries on
+``(graph name, content fingerprint, resolved QuerySpec)``; the first arrival
+becomes the **leader** and actually enumerates, every later identical arrival
+becomes a **waiter** on the same :class:`Flight` and receives the leader's
+batches — one enumeration total, all clients served the complete,
+byte-identical result frames.
+
+Delivery mechanics (all on the server's event loop, so bookkeeping needs no
+locks):
+
+* the leader's executor thread publishes each batch via
+  :meth:`Flight.publish` (scheduled onto the loop), which appends it to the
+  flight history and puts it into every subscriber's **bounded**
+  ``asyncio.Queue`` — the slowest consumer in a flight therefore
+  backpressures the producing enumeration instead of buffering unboundedly;
+* a subscriber that joins mid-flight first replays the history snapshot taken
+  atomically at :meth:`Flight.subscribe` time, then drains its queue — no
+  batch is missed or duplicated;
+* a subscriber that disconnects calls :meth:`Flight.leave`, which drains its
+  queue (unblocking a publisher waiting on it); when the *last* subscriber
+  leaves an unfinished flight, the attached
+  :class:`~repro.engine.stream.ResultStream` is cancelled (thread-safely) so
+  abandoned work stops burning CPU.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..obs.metrics import REGISTRY
+
+_FLIGHTS = REGISTRY.counter(
+    "repro_serve_flights_total",
+    "Single-flight enumerations started by the serve layer, by outcome")
+_COALESCED = REGISTRY.counter(
+    "repro_serve_coalesced_waiters_total",
+    "Query requests coalesced onto an already-in-flight identical query")
+
+#: A queue item is ("batch", payload) or ("end",); subscribers read the
+#: flight's summary/error attributes after seeing "end".
+_END = ("end",)
+
+
+class Flight:
+    """One in-flight enumeration and its subscribers."""
+
+    def __init__(self, key: tuple, queue_size: int = 8) -> None:
+        self.key = key
+        self.queue_size = queue_size
+        self.history: list[list] = []      # batches already published
+        self.subscribers: list[asyncio.Queue] = []
+        self.done = False
+        self.summary: dict | None = None
+        self.error: dict | None = None
+        self.outcome = "ok"
+        self.stream = None                 # the leader's ResultStream, if any
+        self.task: asyncio.Task | None = None
+        self.joined = 0
+
+    # -- subscriber side (event loop) ----------------------------------
+    def subscribe(self) -> tuple[list[list], asyncio.Queue | None]:
+        """Join the flight: (history snapshot, live queue or None if done).
+
+        The snapshot and the registration happen in one event-loop step, so
+        together they deliver exactly the full batch sequence.
+        """
+        self.joined += 1
+        if self.done:
+            return list(self.history), None
+        queue: asyncio.Queue = asyncio.Queue(self.queue_size)
+        self.subscribers.append(queue)
+        return list(self.history), queue
+
+    def leave(self, queue: asyncio.Queue | None) -> None:
+        """Detach one subscriber (idempotent), draining its queue.
+
+        Draining unblocks a publisher currently awaiting this queue's
+        capacity; abandoning the last subscriber cancels the enumeration.
+        """
+        if queue is None:
+            return
+        try:
+            self.subscribers.remove(queue)
+        except ValueError:
+            return
+        while not queue.empty():
+            queue.get_nowait()
+        if not self.subscribers and not self.done and self.stream is not None:
+            self.stream.cancel()
+
+    @property
+    def abandoned(self) -> bool:
+        """True when every subscriber has left an unfinished flight."""
+        return not self.subscribers and not self.done and self.joined > 0
+
+    # -- leader side (scheduled onto the event loop) -------------------
+    async def publish(self, batch: list) -> None:
+        """Record one batch and fan it out to every live subscriber."""
+        self.history.append(batch)
+        for queue in list(self.subscribers):
+            if queue in self.subscribers:   # may leave() while we await
+                await queue.put(("batch", batch))
+
+    async def finish(self, summary: dict | None = None,
+                     error: dict | None = None, outcome: str = "ok") -> None:
+        """Mark the flight complete and wake every subscriber."""
+        self.done = True
+        self.summary = summary
+        self.error = error
+        self.outcome = outcome if error is None or outcome != "ok" else "error"
+        _FLIGHTS.inc(outcome=self.outcome)
+        for queue in list(self.subscribers):
+            if queue in self.subscribers:
+                await queue.put(_END)
+
+
+class SingleFlight:
+    """The in-flight query table: one :class:`Flight` per live key."""
+
+    def __init__(self, queue_size: int = 8) -> None:
+        self.queue_size = queue_size
+        self._flights: dict[tuple, Flight] = {}
+
+    def get_or_create(self, key: tuple) -> tuple[Flight, bool]:
+        """Return (flight, created): join the live flight or lead a new one."""
+        flight = self._flights.get(key)
+        if flight is not None and not flight.done:
+            _COALESCED.inc()
+            return flight, False
+        flight = Flight(key, queue_size=self.queue_size)
+        self._flights[key] = flight
+        return flight, True
+
+    def discard(self, flight: Flight) -> None:
+        """Drop a finished flight from the table (if still registered)."""
+        if self._flights.get(flight.key) is flight:
+            del self._flights[flight.key]
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+
+__all__ = ["Flight", "SingleFlight"]

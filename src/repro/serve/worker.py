@@ -1,0 +1,327 @@
+"""Pull-based worker fan-out over a file-backed spool queue.
+
+:class:`~repro.extensions.parallel.ParallelDCFastQC` fans DC subproblems out
+to a *process pool* it owns.  This module decouples the two sides so workers
+can live anywhere that sees a shared directory (other processes, other
+containers on one host, an NFS mount): a **coordinator** spools each
+:class:`~repro.core.dcfastqc.CompactSubproblem` as a pickled task file, any
+number of ``repro worker`` processes **pull** tasks by atomically claiming
+them, run :func:`~repro.extensions.parallel.run_compact_subproblem` — the
+exact worker-side unit the process pool uses, one-hop maximality halo
+included, so candidate batches are identical to the sequential driver's —
+and drop pickled results back into the spool for the coordinator to
+aggregate.
+
+Spool layout (all under one root directory)::
+
+    spool/
+      tasks/     task-<id>.pkl        # submitted, unclaimed
+      claimed/   task-<id>.pkl        # atomically renamed here by one worker
+      results/   task-<id>.pkl        # candidate batch + metrics snapshot
+
+The claim is a bare ``os.replace`` — whichever worker renames first wins,
+the loser's ``FileNotFoundError`` just means "try the next task".  No locks,
+no daemons, crash-tolerant: a task stuck in ``claimed/`` (dead worker) can be
+requeued with :meth:`SpoolQueue.requeue_stale`.
+
+Workers return per-task :class:`~repro.obs.metrics.MetricsRegistry` snapshots
+(they cannot inc the coordinator's registry across processes); the
+coordinator merges them on collect, so ``repro_parallel_*`` counters add up
+exactly as if the work had run in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from ..core.dcfastqc import CompactSubproblem, DCFastQC
+from ..errors import ReproError
+from ..extensions.parallel import run_compact_subproblem
+from ..graph.graph import Graph
+from ..obs.metrics import REGISTRY
+from ..quasiclique.definitions import validate_parameters
+from ..settrie.filter import filter_non_maximal
+
+_TASKS = REGISTRY.counter(
+    "repro_worker_tasks_total",
+    "Spool tasks processed, by outcome (labelled at the worker)")
+_SPOOLED = REGISTRY.counter(
+    "repro_worker_spooled_total",
+    "Subproblem tasks submitted to a spool queue by a coordinator")
+
+
+@dataclass(frozen=True)
+class WorkTask:
+    """One spooled unit of work: a compact subproblem plus its parameters."""
+
+    task_id: str
+    subproblem: CompactSubproblem
+    gamma: float
+    theta: int
+    branching: str = "hybrid"
+    kernel: str = "ledger"
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One worker's answer: the candidate batch and its metrics snapshot."""
+
+    task_id: str
+    cliques: tuple = ()
+    metrics: dict = field(default_factory=dict)
+    seconds: float = 0.0
+    worker: str = ""
+    error: str | None = None
+
+
+class SpoolQueue:
+    """The shared-directory task queue (both sides use this class)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.tasks_dir = os.path.join(root, "tasks")
+        self.claimed_dir = os.path.join(root, "claimed")
+        self.results_dir = os.path.join(root, "results")
+        for path in (self.tasks_dir, self.claimed_dir, self.results_dir):
+            os.makedirs(path, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _filename(task_id: str) -> str:
+        return f"task-{task_id}.pkl"
+
+    def _write_atomic(self, directory: str, task_id: str, payload) -> None:
+        final = os.path.join(directory, self._filename(task_id))
+        tmp = final + f".tmp-{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, final)
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+    def submit(self, task: WorkTask) -> str:
+        """Spool one task (atomic: workers never see partial files)."""
+        self._write_atomic(self.tasks_dir, task.task_id, task)
+        _SPOOLED.inc()
+        return task.task_id
+
+    def submit_subproblems(self, subproblems, gamma: float, theta: int, *,
+                           branching: str = "hybrid",
+                           kernel: str = "ledger") -> list[str]:
+        """Spool one task per compact subproblem; returns the task ids."""
+        ids = []
+        for index, subproblem in enumerate(subproblems):
+            task = WorkTask(task_id=f"{uuid.uuid4().hex[:12]}-{index:05d}",
+                            subproblem=subproblem, gamma=gamma, theta=theta,
+                            branching=branching, kernel=kernel)
+            ids.append(self.submit(task))
+        return ids
+
+    def collect(self, task_ids, *, timeout: float | None = None,
+                poll: float = 0.05, merge_metrics: bool = True
+                ) -> list[TaskResult]:
+        """Block until every task id has a result (or ``timeout`` elapses).
+
+        Merges each result's metrics snapshot into the process
+        :data:`~repro.obs.metrics.REGISTRY` unless ``merge_metrics=False``.
+        Raises :class:`ReproError` on timeout or on a task that failed
+        worker-side (its ``error`` string is included).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        outstanding = list(task_ids)
+        results: dict[str, TaskResult] = {}
+        while outstanding:
+            still_waiting = []
+            for task_id in outstanding:
+                path = os.path.join(self.results_dir, self._filename(task_id))
+                try:
+                    with open(path, "rb") as handle:
+                        result: TaskResult = pickle.load(handle)
+                except FileNotFoundError:
+                    still_waiting.append(task_id)
+                    continue
+                results[task_id] = result
+            outstanding = still_waiting
+            if not outstanding:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise ReproError(
+                    f"spool collect timed out with {len(outstanding)} of "
+                    f"{len(results) + len(outstanding)} tasks outstanding")
+            time.sleep(poll)
+        failed = [r for r in results.values() if r.error is not None]
+        if failed:
+            worst = failed[0]
+            raise ReproError(f"spool task {worst.task_id} failed on worker "
+                             f"{worst.worker or '?'}: {worst.error}")
+        if merge_metrics:
+            for result in results.values():
+                if result.metrics:
+                    REGISTRY.merge(result.metrics)
+        return [results[task_id] for task_id in task_ids]
+
+    def requeue_stale(self, older_than: float = 300.0) -> int:
+        """Move long-claimed tasks (dead workers) back into ``tasks/``."""
+        moved = 0
+        now = time.time()
+        for name in os.listdir(self.claimed_dir):
+            path = os.path.join(self.claimed_dir, name)
+            try:
+                if now - os.path.getmtime(path) < older_than:
+                    continue
+                os.replace(path, os.path.join(self.tasks_dir, name))
+                moved += 1
+            except FileNotFoundError:  # another coordinator raced us
+                continue
+        return moved
+
+    def stats(self) -> dict:
+        """Point-in-time queue depths."""
+        return {directory: len([name for name in os.listdir(path)
+                                if name.endswith(".pkl")])
+                for directory, path in (("tasks", self.tasks_dir),
+                                        ("claimed", self.claimed_dir),
+                                        ("results", self.results_dir))}
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def claim(self, worker_id: str) -> WorkTask | None:
+        """Atomically claim one pending task (None when the spool is idle)."""
+        for name in sorted(os.listdir(self.tasks_dir)):
+            if not name.endswith(".pkl"):
+                continue
+            source = os.path.join(self.tasks_dir, name)
+            target = os.path.join(self.claimed_dir, name)
+            try:
+                os.replace(source, target)
+            except FileNotFoundError:
+                continue  # another worker won this one
+            with open(target, "rb") as handle:
+                return pickle.load(handle)
+        return None
+
+    def complete(self, task: WorkTask, result: TaskResult) -> None:
+        """Publish one result and retire the claimed task file."""
+        self._write_atomic(self.results_dir, task.task_id, result)
+        try:
+            os.remove(os.path.join(self.claimed_dir, self._filename(task.task_id)))
+        except FileNotFoundError:
+            pass
+
+
+class SpoolWorker:
+    """The ``repro worker`` loop: claim, enumerate, publish, repeat."""
+
+    def __init__(self, spool: SpoolQueue | str,
+                 worker_id: str | None = None) -> None:
+        self.spool = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.processed = 0
+
+    def run_once(self) -> bool:
+        """Process at most one task; returns False when the spool was idle."""
+        task = self.spool.claim(self.worker_id)
+        if task is None:
+            return False
+        start = time.perf_counter()
+        try:
+            cliques, metrics = run_compact_subproblem(
+                task.subproblem, task.gamma, task.theta,
+                branching=task.branching, kernel=task.kernel)
+            result = TaskResult(task_id=task.task_id, cliques=tuple(cliques),
+                                metrics=metrics,
+                                seconds=time.perf_counter() - start,
+                                worker=self.worker_id)
+            _TASKS.inc(outcome="ok")
+        except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
+            result = TaskResult(task_id=task.task_id,
+                                seconds=time.perf_counter() - start,
+                                worker=self.worker_id,
+                                error=f"{type(exc).__name__}: {exc}")
+            _TASKS.inc(outcome="error")
+        self.spool.complete(task, result)
+        self.processed += 1
+        return True
+
+    def run(self, *, max_tasks: int | None = None,
+            idle_timeout: float | None = None, poll: float = 0.1,
+            progress=None) -> int:
+        """Drain the spool; returns the number of tasks processed.
+
+        Exits after ``max_tasks`` tasks, or after ``idle_timeout`` seconds
+        with nothing to claim (``None``: keep polling forever — the service
+        deployment mode).  ``progress`` is an optional per-task callback
+        receiving this worker.
+        """
+        done = 0
+        idle_since = time.monotonic()
+        while max_tasks is None or done < max_tasks:
+            if self.run_once():
+                done += 1
+                idle_since = time.monotonic()
+                if progress is not None:
+                    progress(self)
+                continue
+            if (idle_timeout is not None
+                    and time.monotonic() - idle_since >= idle_timeout):
+                break
+            time.sleep(poll)
+        return done
+
+
+def spool_enumerate(graph: Graph, gamma: float, theta: int, spool: SpoolQueue | str,
+                    *, branching: str = "hybrid", kernel: str = "ledger",
+                    inline_workers: int = 0, timeout: float | None = None
+                    ) -> list[frozenset]:
+    """Full MQCE through a spool queue: submit, (optionally) work, collect.
+
+    The coordinator runs DCFastQC's global preprocessing locally, spools every
+    compact subproblem, and aggregates the candidate batches through the
+    MQCE-S2 maximality filter — the distributed analogue of
+    :meth:`repro.extensions.parallel.ParallelDCFastQC.find_maximal`.  With
+    ``inline_workers > 0`` that many :class:`SpoolWorker` loops run in local
+    threads (tests, single-host convenience); with ``inline_workers=0`` the
+    call blocks until external ``repro worker`` processes drain the spool.
+    """
+    import threading
+
+    validate_parameters(gamma, theta)
+    spool = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
+    driver = DCFastQC(graph, gamma, theta, branching=branching, kernel=kernel)
+    subproblems = tuple(driver.iter_compact_subproblems())
+    if not subproblems:
+        return []
+    ids = spool.submit_subproblems(subproblems, gamma, theta,
+                                   branching=branching, kernel=kernel)
+    threads = []
+    for _ in range(max(0, inline_workers)):
+        worker = SpoolWorker(spool)
+        thread = threading.Thread(
+            target=worker.run, kwargs={"max_tasks": None, "idle_timeout": 0.5},
+            daemon=True)
+        thread.start()
+        threads.append(thread)
+    try:
+        results = spool.collect(ids, timeout=timeout)
+    finally:
+        for thread in threads:
+            thread.join(timeout=5.0)
+    candidates: set[frozenset] = set()
+    for result in results:
+        candidates.update(result.cliques)
+    return filter_non_maximal(
+        sorted(candidates, key=lambda h: (-len(h), sorted(map(str, h)))),
+        theta=theta)
+
+
+__all__ = ["SpoolQueue", "SpoolWorker", "TaskResult", "WorkTask",
+           "spool_enumerate"]

@@ -87,6 +87,24 @@ class TestQuerySpec:
         again = QuerySpec.from_json(json.dumps(spec.to_dict()))
         assert again == spec
 
+    def test_to_json_is_canonical(self):
+        spec = QuerySpec(gamma=0.9, theta=5, k=3, contains=("b", "a"))
+        text = spec.to_json()
+        # Compact separators, sorted keys: byte-identical for equal specs.
+        assert " " not in text
+        assert text == QuerySpec(gamma=0.9, theta=5, k=3,
+                                 contains=("a", "b")).to_json()
+        assert QuerySpec.from_json(text) == spec
+        assert json.loads(text) == spec.to_dict()
+
+    def test_fields_from_json_rejects_garbage(self):
+        with pytest.raises(SpecError):
+            QuerySpec.fields_from_json("{not json")
+        with pytest.raises(SpecError):
+            QuerySpec.fields_from_json("[1, 2, 3]")
+        with pytest.raises(SpecError):
+            QuerySpec.from_json('{"gamma": 0.9, "bogus": 1}')
+
     def test_from_dict_rejects_unknown_keys(self):
         with pytest.raises(SpecError):
             QuerySpec.from_dict({"gamma": 0.9, "bogus": 1})

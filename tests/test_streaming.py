@@ -190,6 +190,74 @@ class TestStreamCaching:
         assert stream.finished
 
 
+class TestStreamCancel:
+    """Regression: ResultStream.cancel must be thread-safe and idempotent.
+
+    The serve layer cancels streams from the asyncio event loop while an
+    executor thread is consuming them, and may cancel *before* iteration has
+    created the inner enumeration — both used to be unsafe."""
+
+    def test_cancel_before_iteration_yields_nothing(self):
+        graph, spec = _fresh_query("ca-grqc")
+        engine = MQCEEngine()
+        stream = engine.stream(graph, spec)
+        stream.cancel()  # before __iter__ ever ran
+        assert stream.cancelled
+        assert list(stream) == []
+        assert stream.truncated and not stream.finished
+        assert len(engine.cache) == 0  # a cancelled stream never caches
+
+    def test_cancel_mid_iteration_stops_promptly(self):
+        graph, spec = _fresh_query("ca-grqc")
+        engine = MQCEEngine()
+        stream = engine.stream(graph, spec)
+        reference = MQCEEngine().query(graph, spec).maximal_count
+        delivered = []
+        for clique in stream:
+            delivered.append(clique)
+            stream.cancel()
+        assert len(delivered) == 1 < reference
+        assert stream.truncated and not stream.finished
+        assert len(engine.cache) == 0
+
+    def test_cancel_from_another_thread(self):
+        import threading
+
+        graph, spec = _fresh_query("ca-grqc")
+        stream = MQCEEngine().stream(graph, spec)
+        first_answer = threading.Event()
+        release = threading.Event()
+        delivered = []
+
+        def consume() -> None:
+            for clique in stream:
+                delivered.append(clique)
+                first_answer.set()
+                release.wait(timeout=10)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        assert first_answer.wait(timeout=10)
+        stream.cancel()   # from this thread, mid-consumption
+        stream.cancel()   # idempotent
+        release.set()
+        consumer.join(timeout=10)
+        assert not consumer.is_alive()
+        assert stream.cancelled and stream.truncated
+        total = MQCEEngine().query(graph, spec).maximal_count
+        assert len(delivered) < total
+
+    def test_cancel_after_completion_is_a_no_op(self):
+        graph, spec = _fresh_query("twitter")
+        stream = MQCEEngine().stream(graph, spec)
+        answers = list(stream)
+        assert stream.finished
+        stream.cancel()
+        assert stream.cancelled
+        assert stream.finished  # completion already recorded; not rewritten
+        assert answers  # the delivered answers are untouched
+
+
 class TestEnumeratorRefactor:
     def test_batches_concatenate_to_enumerate(self):
         from repro.core.dcfastqc import DCFastQC
