@@ -13,7 +13,12 @@ trajectory record to ``BENCH_core.json`` at the repository root:
 * ``engine-cache`` — cold vs warm `MQCEEngine.query` latency (result-cache
   serving path);
 * ``dynamic-updates`` — one edge update + requery through the
-  ``DynamicEngine`` (incremental) vs a full rebuild.
+  ``DynamicEngine`` (incremental) vs a full rebuild;
+* ``large-graph`` — streaming CSR ingestion vs the dict/bitmask builder on a
+  generated power-law edge list (10^5 vertices full, 2*10^4 quick), each in
+  its own subprocess so peak RSS isolates one representation; the recorded
+  ``speedup`` is the dict-over-CSR peak-RSS ratio and the row includes one
+  budgeted enumerate query per backend.
 
 Committing the file after a perf-relevant change gives the repo a recorded
 perf trajectory that later PRs can regress against — one file, every
@@ -28,8 +33,9 @@ Usage::
 
 ``--assert-speedup X`` exits non-zero unless at least ``--assert-count``
 core datasets beat the reference kernel by the given factor;
-``--assert-quickplus-speedup``, ``--assert-warm-speedup`` and
-``--assert-dynamic-speedup`` do the same for the other suites.  The CI
+``--assert-quickplus-speedup``, ``--assert-warm-speedup``,
+``--assert-dynamic-speedup`` and ``--assert-rss-speedup`` do the same for
+the other suites (an RSS floor of 4 asserts CSR peaks under 25% of dict).  The CI
 perf-smoke job runs the quick suites with floors so kernel, cache or
 dynamic-path regressions fail the PR.  ``REPRO_BENCH_QUICK=1`` implies
 ``--quick``.
@@ -40,7 +46,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -56,8 +64,10 @@ from repro.datasets import (                                      # noqa: E402
     load_prepared,
 )
 from repro.engine import MQCEEngine, PreparedGraph                # noqa: E402
+from repro.graph import preferential_attachment_edges             # noqa: E402
 
-SUITES = ("core", "quickplus", "engine-cache", "dynamic-updates")
+SUITES = ("core", "quickplus", "engine-cache", "dynamic-updates",
+          "large-graph")
 
 #: Core suite: (dataset, gamma, theta) chosen so enumeration — not
 #: preprocessing — dominates (hundreds to thousands of branches each).
@@ -92,6 +102,21 @@ ENGINE_CACHE_QUICK = ("ca-grqc",)
 
 DYNAMIC_FULL = ("ca-grqc", "enron", "uk2002")
 DYNAMIC_QUICK = ("ca-grqc",)
+
+#: Large-graph suite rows: (name, vertices, attachment, gamma, theta,
+#: time_limit).  Each row generates a power-law (preferential-attachment)
+#: edge list, ingests it under both graph backends in separate subprocesses
+#: and runs one budgeted enumerate query per backend; gamma/theta sit at the
+#: graph's degeneracy (BA attachment 3) so the query does real branch work
+#: instead of emptying the core.  The quick row completes untruncated and
+#: also checks answer parity; the full 10^5-vertex row leans on the time
+#: budget.
+LARGE_GRAPH_FULL = (("powerlaw-100k", 100_000, 3, 0.9, 4, 30.0),)
+LARGE_GRAPH_QUICK = (("powerlaw-20k", 20_000, 3, 0.9, 4, 120.0),)
+
+#: Seed for the generated large-graph edge lists (fixed so the recorded
+#: trajectory rows are comparable across commits).
+LARGE_GRAPH_SEED = 13
 
 #: Benchmark rows may rename a dataset to carry distinct parameters.
 DATASET_ALIASES = {"uk2002-heavy": "uk2002"}
@@ -304,6 +329,97 @@ def run_dynamic_suite(names, repeat: int = 1, verbose: bool = True) -> dict:
     }
 
 
+def _ingest_subprocess(path: str, backend: str, gamma: float, theta: int,
+                       time_limit: float) -> dict:
+    """Run ``repro ingest`` in a child process and return its JSON report.
+
+    Peak RSS is a process-wide high-water mark, so the two backends must be
+    measured in separate interpreters; the child reports its post-import
+    baseline so ``peak - baseline`` isolates representation + query memory.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    command = [sys.executable, "-m", "repro", "ingest", path,
+               "--backend", backend, "--gamma", str(gamma),
+               "--theta", str(theta), "--time-limit", str(time_limit),
+               "--json"]
+    completed = subprocess.run(command, env=env, capture_output=True,
+                               text=True, check=True)
+    report = json.loads(completed.stdout)
+    report["rss_delta_bytes"] = (report["peak_rss_bytes"]
+                                 - report["baseline_rss_bytes"])
+    return report
+
+
+def run_large_graph_suite(suite, repeat: int = 1, verbose: bool = True) -> dict:
+    """Streaming CSR ingestion vs the dict/bitmask builder, per subprocess."""
+    # Peak-RSS deltas are allocation high-water marks, not timings: they are
+    # stable across runs, and the children are the most expensive thing the
+    # trajectory launches — two repetitions bound the cost of --repeat 4.
+    repeat = min(repeat, 2)
+    rows = {}
+    for name, vertices, attachment, gamma, theta, time_limit in suite:
+        handle = tempfile.NamedTemporaryFile(
+            "w", suffix=".edges", prefix="repro-large-", delete=False)
+        try:
+            with handle:
+                for u, v in preferential_attachment_edges(
+                        vertices, attachment, seed=LARGE_GRAPH_SEED):
+                    handle.write(f"{u} {v}\n")
+            reports = {}
+            for backend in ("dict", "csr"):
+                best = None
+                for _ in range(repeat):
+                    report = _ingest_subprocess(handle.name, backend, gamma,
+                                                theta, time_limit)
+                    if best is None or report["rss_delta_bytes"] < best["rss_delta_bytes"]:
+                        best = report
+                reports[backend] = best
+        finally:
+            os.unlink(handle.name)
+        dict_report, csr_report = reports["dict"], reports["csr"]
+        if not dict_report["truncated"] and not csr_report["truncated"]:
+            if dict_report["maximal"] != csr_report["maximal"]:
+                raise AssertionError(
+                    f"{name}: backends disagree on the answer "
+                    f"({dict_report['maximal']} vs {csr_report['maximal']})")
+        dict_delta, csr_delta = (dict_report["rss_delta_bytes"],
+                                 csr_report["rss_delta_bytes"])
+        row = {
+            "gamma": gamma,
+            "theta": theta,
+            "time_limit": time_limit,
+            "vertices": csr_report["vertices"],
+            "edges": csr_report["edges"],
+            "dict_ingest_s": dict_report["ingest_seconds"],
+            "csr_ingest_s": csr_report["ingest_seconds"],
+            "dict_rss_mb": round(dict_delta / 1e6, 1),
+            "csr_rss_mb": round(csr_delta / 1e6, 1),
+            "maximal": csr_report["maximal"],
+            "truncated": dict_report["truncated"] or csr_report["truncated"],
+            "enumeration_s": csr_report["enumeration_seconds"],
+            "speedup": round(dict_delta / csr_delta, 2) if csr_delta else float("inf"),
+        }
+        rows[name] = row
+        if verbose:
+            print(f"large      {name:14s} gamma={gamma} theta={theta}: "
+                  f"dict {row['dict_rss_mb']:.1f} MB vs CSR "
+                  f"{row['csr_rss_mb']:.1f} MB -> {row['speedup']}x "
+                  f"({row['maximal']} maximal"
+                  f"{', truncated' if row['truncated'] else ''})")
+    return {
+        "workload": ("power-law edge-list ingest + one budgeted query: "
+                     "peak-RSS delta, dict/bitmask vs streaming CSR"),
+        "backends": ["dict", "csr"],
+        "datasets": rows,
+        "summary": {
+            "geomean_speedup": round(
+                _geomean(r["speedup"] for r in rows.values()), 2),
+        },
+    }
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -353,6 +469,10 @@ def main(argv=None) -> int:
     parser.add_argument("--assert-dynamic-speedup", type=float, default=None,
                         metavar="FLOOR",
                         help="dynamic-updates suite: incremental must beat rebuild")
+    parser.add_argument("--assert-rss-speedup", type=float, default=None,
+                        metavar="FLOOR",
+                        help="large-graph suite: dict peak-RSS delta must exceed "
+                        "the CSR delta by this factor (4 = CSR under 25%%)")
     parser.add_argument("--assert-count", type=int, default=2, metavar="N",
                         help="how many datasets must meet each floor (default 2)")
     args = parser.parse_args(argv)
@@ -377,6 +497,10 @@ def main(argv=None) -> int:
     if "dynamic-updates" in selected:
         record["suites"]["dynamic-updates"] = run_dynamic_suite(
             DYNAMIC_QUICK if quick else DYNAMIC_FULL, repeat=args.repeat)
+    if "large-graph" in selected:
+        record["suites"]["large-graph"] = run_large_graph_suite(
+            LARGE_GRAPH_QUICK if quick else LARGE_GRAPH_FULL,
+            repeat=args.repeat)
 
     # Process high-water mark after every suite ran (None on platforms
     # without getrusage) — part of the recorded trajectory, like the timings.
@@ -400,6 +524,8 @@ def main(argv=None) -> int:
     _assert_floor(record, "engine-cache", args.assert_warm_speedup,
                   1, failures)
     _assert_floor(record, "dynamic-updates", args.assert_dynamic_speedup,
+                  1, failures)
+    _assert_floor(record, "large-graph", args.assert_rss_speedup,
                   1, failures)
     if failures:
         for failure in failures:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..graph.graph import Graph, VertexLabel, iter_bits
-from ..graph.core_decomposition import degeneracy_ordering, k_core_vertices
+from ..graph.core_decomposition import degeneracy_ordering_within, k_core_vertices
 from ..graph.subgraph import compact_subgraph, two_hop_mask
 from ..obs.trace import NULL_TRACER
 from ..quasiclique.definitions import degree_threshold, gamma_pq, validate_parameters
@@ -420,14 +420,11 @@ class DCFastQC:
             return []
         if self.framework == "basic-dc":
             return sorted(kept_labels, key=lambda v: (self.graph.degree(v), self.graph.index_of(v)))
-        if core_mask == self.graph.full_mask():
-            # Nothing was pruned: order the graph itself.  Safe because the
-            # degeneracy tie-breaks are content-deterministic (mask-order
-            # neighbour walks), so this equals ordering a rebuilt copy.
-            reduced = self.graph
-        else:
-            reduced = compact_subgraph(self.graph, core_mask)
-        return degeneracy_ordering(reduced)
+        # Restricted ordering without extracting the whole core as a compact
+        # graph (O(core^2) bits — prohibitive on CSR-backed large graphs).
+        # The tie-breaks are content-deterministic, so this equals ordering a
+        # rebuilt copy of G[core_mask].
+        return degeneracy_ordering_within(self.graph, core_mask)
 
     def _shrink_subproblem(self, root_index: int, subproblem_mask: int) -> int:
         """Lines 5-6 of Algorithm 3: one-hop and two-hop pruning for MAX_ROUND rounds.

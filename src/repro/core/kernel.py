@@ -65,11 +65,18 @@ LEDGER_BACKENDS = ("auto", "array", "numpy", "list")
 DEFAULT_LEDGER_BACKEND = "auto"
 
 #: The ``auto`` backend switches from Python lists to flat ``array('i')``
-#: buffers at this ledger width.  Measured crossover: branch states over
-#: full-width graphs (Quick+, FastQC without decomposition) are copy-bound —
-#: an array copy is one memcpy while a list copy touches every element — so
-#: arrays win; compact DC subproblem states are read-bound and small, where
-#: list indexing's direct object access wins.
+#: buffers at this ledger width.  Copies/resets favour arrays (one memcpy vs
+#: a pointer-by-pointer loop: 206 ns vs 81 ns at width 128, 33 us vs 1.8 us
+#: at 16384) while indexed ``buf[i] += 1`` updates favour lists (~29 ns vs
+#: ~94 ns — arrays box an int per access), so the winner depends on touches
+#: per copy.  Measured with ``scripts/derive_backend_crossover.py`` on a
+#: 12k-vertex power-law graph: the kernelized shrink pass does ~0.5 indexed
+#: updates per full-width reset, and the break-even rate crosses that
+#: between widths 64 and 96 (1.9 touches/copy at 128, rising linearly with
+#: width).  128 keeps ~4x margin for update-heavier branch-ledger workloads
+#: while compact DC subproblem states — small and touch-dominated — stay on
+#: lists; end-to-end, auto matches the forced-array backend (1.50 s vs the
+#: list backend's 2.05 s cold DCFastQC at n=12000).
 AUTO_ARRAY_MIN_WIDTH = 128
 
 
@@ -694,13 +701,22 @@ class ShrinkLedgers:
     __slots__ = ("graph", "stats", "root_clear", "root_adjacency",
                  "alive_mask", "alive_count", "deg", "common", "fresh_mask",
                  "common_seeded", "track_common", "_deg_passes",
-                 "_common_passes")
+                 "_common_passes", "_counts")
 
     def __init__(self, graph: Graph, root_index: int, ball_mask: int,
                  stats: SearchStatistics | None = None,
                  track_common: bool = True) -> None:
         self.graph = graph
         self.stats = stats
+        # CSR-backed graphs expose `restricted_counts`, which batches an
+        # entire counting pass over flat adjacency rows with byte-buffer
+        # membership tests.  On wide graphs that replaces, per scanned
+        # vertex, one lazy O(deg + n/8) mask build plus an O(n/64) full-width
+        # popcount.  (Bit-slicing the one-hop pass — the other candidate
+        # batching — does not pay here: unlike the two-hop rule, the
+        # accumulation set equals the scan set, so the plane adds cost as
+        # much as the popcounts they replace.)
+        self._counts = getattr(graph, "restricted_counts", None)
         self.root_clear = ~(1 << root_index)
         self.root_adjacency = graph.adjacency_mask(root_index)
         self.alive_mask = ball_mask
@@ -796,16 +812,24 @@ class ShrinkLedgers:
             common = self.common
         root_alive = self.root_adjacency & alive
         updates = 0
-        remaining = alive
-        while remaining:
-            low = remaining & -remaining
-            v = low.bit_length() - 1
-            remaining ^= low
-            restricted = masks[v] & alive
-            deg[v] = restricted.bit_count()
+        if self._counts is not None:
+            for v, value in self._counts(alive).items():
+                deg[v] = value
+                updates += 1
             if common is not None:
-                common[v] = (restricted & root_alive).bit_count()
-            updates += 1
+                for v, value in self._counts(alive, root_alive).items():
+                    common[v] = value
+        else:
+            remaining = alive
+            while remaining:
+                low = remaining & -remaining
+                v = low.bit_length() - 1
+                remaining ^= low
+                restricted = masks[v] & alive
+                deg[v] = restricted.bit_count()
+                if common is not None:
+                    common[v] = (restricted & root_alive).bit_count()
+                updates += 1
         self.fresh_mask = alive
         if common is not None:
             self.common_seeded = True
@@ -838,18 +862,25 @@ class ShrinkLedgers:
                 if deg[v] < required_degree:
                     removals.append(v)
         elif self._deg_passes == 0:
-            # First pass: store-free fused popcount + decide (the hottest
-            # loop of the shrinking phase — everything prebound).
-            masks = self.graph.adjacency_masks()
-            bit_length = int.bit_length
-            bit_count = int.bit_count
-            append = removals.append
-            while scan:
-                low = scan & -scan
-                scan ^= low
-                v = bit_length(low) - 1
-                if bit_count(masks[v] & alive) < required_degree:
-                    append(v)
+            if self._counts is not None:
+                # CSR batching: one row scan per member against the alive
+                # byte buffer, no per-member mask build or wide popcount.
+                for v, value in self._counts(scan, alive).items():
+                    if value < required_degree:
+                        removals.append(v)
+            else:
+                # First pass: store-free fused popcount + decide (the hottest
+                # loop of the shrinking phase — everything prebound).
+                masks = self.graph.adjacency_masks()
+                bit_length = int.bit_length
+                bit_count = int.bit_count
+                append = removals.append
+                while scan:
+                    low = scan & -scan
+                    scan ^= low
+                    v = bit_length(low) - 1
+                    if bit_count(masks[v] & alive) < required_degree:
+                        append(v)
         else:
             self._reseed(alive)
             deg = self.deg

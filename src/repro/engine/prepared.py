@@ -76,9 +76,9 @@ class PreparedGraph:
 
     @cached_property
     def degrees(self) -> tuple[int, ...]:
-        """Vertex degrees in index order."""
-        return tuple(len(self.graph.adjacency_set(i))
-                     for i in range(self.graph.vertex_count))
+        """Vertex degrees in index order (CSR-backed graphs read indptr diffs
+        instead of materialising per-vertex sets)."""
+        return tuple(self.graph.degree_sequence())
 
     @cached_property
     def core_numbers(self) -> dict[VertexLabel, int]:

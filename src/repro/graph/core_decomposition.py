@@ -52,6 +52,20 @@ def _degeneracy_order_and_cores(graph: Graph) -> tuple[list[VertexLabel], dict[V
     n = graph.vertex_count
     if n == 0:
         return [], {}
+    if getattr(graph, "indptr", None) is not None:
+        # CSR-backed graph: run the bucket algorithm over the flat rows.
+        # Building the mask list below would transiently materialise O(n^2)
+        # bits — exactly what the CSR tier exists to avoid.  The native
+        # variant mirrors this function's scan order bit for bit (ascending
+        # bucket init, LIFO pops with the stale skip, ascending neighbour
+        # walks over the sorted rows), so orderings and core numbers are
+        # identical for identical content.
+        from ..core.csr import csr_degeneracy_order_and_cores
+
+        order_indices, core_of_index = csr_degeneracy_order_and_cores(graph)
+        order = [graph.label_of(i) for i in order_indices]
+        cores = {graph.label_of(i): core_of_index[i] for i in range(n)}
+        return order, cores
     masks = graph.adjacency_masks()
     degrees = [mask.bit_count() for mask in masks]
     max_degree = max(degrees)
@@ -100,6 +114,31 @@ def _degeneracy_order_and_cores(graph: Graph) -> tuple[list[VertexLabel], dict[V
     order = [graph.label_of(i) for i in order_indices]
     cores = {graph.label_of(i): core_of_index[i] for i in range(n)}
     return order, cores
+
+
+def degeneracy_ordering_within(graph: Graph, mask: int) -> list[VertexLabel]:
+    """Degeneracy ordering of the induced subgraph ``G[mask]``, as labels.
+
+    For the full mask this is just :func:`degeneracy_ordering`.  On a
+    CSR-backed graph the restricted bucket algorithm runs natively over the
+    flat rows — O(|mask| + restricted edges) — instead of first extracting a
+    compact dict/bitmask subgraph of the whole core (O(core^2) bits, the step
+    that would dominate DCFastQC's decompose phase on 10^5-vertex graphs).
+    Because compact local indices are assigned in increasing global index,
+    the native ordering is exactly what ``degeneracy_ordering(
+    compact_subgraph(graph, mask))`` returns; dict-backed graphs simply take
+    that compact route.
+    """
+    if mask == graph.full_mask():
+        return degeneracy_ordering(graph)
+    if getattr(graph, "indptr", None) is not None:
+        from ..core.csr import csr_restricted_degeneracy_order
+
+        return [graph.label_of(i)
+                for i in csr_restricted_degeneracy_order(graph, mask)]
+    from .subgraph import compact_subgraph
+
+    return degeneracy_ordering(compact_subgraph(graph, mask))
 
 
 def k_core(graph: Graph, k: int) -> Graph:

@@ -188,6 +188,23 @@ class Graph:
         return graph
 
     @classmethod
+    def from_csr(cls, labels: Iterable[VertexLabel], indptr, indices, *,
+                 edge_count: int | None = None) -> "Graph":
+        """Build a frozen CSR-backed graph from flat adjacency arrays.
+
+        ``indptr`` holds ``n + 1`` row offsets and ``indices`` the
+        concatenated, ascending-sorted neighbour lists — O(V + E) memory
+        instead of the O(n^2)-bit dual representation this class keeps.  The
+        result is a :class:`repro.core.csr.CSRGraph`: a read-only facade
+        whose accessors (and therefore every enumeration answer) match a
+        dict-backed graph of the same content exactly; mutations raise
+        :class:`GraphError` and ``thaw()`` converts back to a mutable graph.
+        """
+        from ..core.csr import CSRGraph
+
+        return CSRGraph(labels, indptr, indices, edge_count=edge_count)
+
+    @classmethod
     def from_dense_adjacency(cls, labels: Iterable[VertexLabel],
                              adjacency_masks: Iterable[int]) -> "Graph":
         """Build a graph directly from index-aligned adjacency bitmasks.
@@ -281,6 +298,10 @@ class Graph:
 
     def degree(self, label: VertexLabel) -> int:
         return len(self._adjacency_sets[self.index_of(label)])
+
+    def degree_sequence(self) -> list[int]:
+        """Return every vertex degree in index order (O(V + E), no masks)."""
+        return [len(neighbours) for neighbours in self._adjacency_sets]
 
     def max_degree(self) -> int:
         """Return the maximum vertex degree (0 for an empty graph)."""

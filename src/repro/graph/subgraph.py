@@ -46,6 +46,10 @@ def two_hop_mask(graph: Graph, center_index: int, allowed_mask: int) -> int:
     themselves allowed can act as the middle vertex of a 2-hop path.  The
     center is always included in the result when it is allowed.
     """
+    if getattr(graph, "indptr", None) is not None:
+        from ..core.csr import csr_two_hop_mask
+
+        return csr_two_hop_mask(graph, center_index, allowed_mask)
     masks = graph.adjacency_masks()
     one_hop = masks[center_index] & allowed_mask
     reach = one_hop
@@ -74,7 +78,15 @@ def compact_subgraph(graph: Graph, mask: int) -> Graph:
     Cost: one pass over the members' restricted adjacency, ``O(sum of
     deg(v in G[mask]))``, instead of :meth:`Graph.induced_subgraph`'s full
     edge scan.
+
+    On a CSR-backed graph the extraction scans the flat rows directly (and
+    still returns a small dict/bitmask graph — subproblems are exactly where
+    the bitmask kernel's branch inner loops should keep running).
     """
+    if getattr(graph, "indptr", None) is not None:
+        from ..core.csr import csr_compact_subgraph
+
+        return csr_compact_subgraph(graph, mask)
     members = list(iter_bits(mask))
     local_of = {global_index: local for local, global_index in enumerate(members)}
     local_masks = []
@@ -99,6 +111,11 @@ def neighborhood_intersection(graph: Graph, u: VertexLabel, v: VertexLabel,
 
 def is_connected(graph: Graph, labels: Iterable[VertexLabel] | None = None) -> bool:
     """Return True if ``G`` (or ``G[labels]``) is connected; empty graphs count as connected."""
+    if getattr(graph, "indptr", None) is not None:
+        from ..core.csr import csr_is_connected
+
+        return csr_is_connected(
+            graph, None if labels is None else graph.mask_of(labels))
     if labels is None:
         allowed = graph.full_mask()
     else:
@@ -127,6 +144,10 @@ def connected_components(graph: Graph,
     subgraph ``G[within_mask]`` only — used by the dynamic prepared graph to
     re-split a single touched component without scanning the whole graph.
     """
+    if getattr(graph, "indptr", None) is not None:
+        from ..core.csr import csr_connected_components
+
+        return csr_connected_components(graph, within_mask)
     remaining = graph.full_mask() if within_mask is None else within_mask
     masks = graph.adjacency_masks()
     components: list[frozenset[VertexLabel]] = []

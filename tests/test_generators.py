@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.graph import (
@@ -9,8 +11,11 @@ from repro.graph import (
     erdos_renyi_by_density,
     erdos_renyi_gnm,
     erdos_renyi_gnp,
+    gnm_edges,
+    gnp_edges,
     planted_quasi_clique,
     planted_quasi_clique_graph,
+    preferential_attachment_edges,
     random_connected_graph,
     is_connected,
 )
@@ -117,3 +122,151 @@ class TestRandomConnectedGraph:
     def test_extra_edges_added(self):
         graph = random_connected_graph(30, 15, seed=4)
         assert graph.edge_count == 29 + 15
+
+
+def _legacy_gnm_edges(vertex_count, edge_count, rng):
+    """The pre-fix rejection loop, verbatim — the byte-identity oracle."""
+    existing = set()
+    while len(existing) < edge_count:
+        u = rng.randrange(vertex_count)
+        v = rng.randrange(vertex_count)
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge in existing:
+            continue
+        existing.add(edge)
+        yield edge
+
+
+class _CountingRandom(random.Random):
+    """random.Random that counts randrange draws (for stall regressions)."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.draws = 0
+
+    def randrange(self, *args, **kwargs):
+        self.draws += 1
+        return super().randrange(*args, **kwargs)
+
+    def random(self):
+        self.draws += 1
+        return super().random()
+
+
+class TestGnmDenseAsk:
+    def test_sparse_seeds_reproduce_legacy_graphs_byte_identically(self):
+        # The registry's pinned analogues sit on the sparse side of the
+        # complement threshold; their seeds must keep producing the exact
+        # edge sequences the old loop produced.
+        for n, m, seed in ((30, 60, 1), (120, 700, 9), (50, 612, 3)):
+            assert 2 * m <= n * (n - 1) // 2
+            legacy = list(_legacy_gnm_edges(n, m, random.Random(seed)))
+            assert list(gnm_edges(n, m, seed=seed)) == legacy
+            graph = erdos_renyi_gnm(n, m, seed=seed)
+            assert set(map(frozenset, graph.edges())) == \
+                set(map(frozenset, legacy))
+            assert graph.edge_count == m
+
+    def test_dense_ask_does_not_rejection_stall(self, monkeypatch):
+        # Regression: asking for max_edges - 1 made the old loop draw
+        # O(max_edges * log(max_edges)) samples (~67k-87k draws at n=100,
+        # measured across seeds) because the acceptance rate collapses near
+        # the full graph.  The complement path needs O(missing) draws; the
+        # bound below deterministically fails on the old loop for any of
+        # those seeds and passes with two draws now.
+        n = 100
+        max_edges = n * (n - 1) // 2
+        recorded = {}
+
+        def counting_random(seed):
+            rng = _CountingRandom(seed)
+            recorded["rng"] = rng
+            return rng
+
+        from repro.graph import generators
+
+        monkeypatch.setattr(generators.random, "Random", counting_random)
+        graph = erdos_renyi_gnm(n, max_edges - 1, seed=0)
+        assert graph.edge_count == max_edges - 1
+        assert recorded["rng"].draws <= 8 * max_edges
+
+    def test_dense_ask_is_exact_and_deterministic(self):
+        n = 40
+        max_edges = n * (n - 1) // 2
+        for m in (max_edges, max_edges - 1, max_edges - 37,
+                  max_edges // 2 + 1):
+            graph = erdos_renyi_gnm(n, m, seed=5)
+            assert graph.edge_count == m
+            again = erdos_renyi_gnm(n, m, seed=5)
+            assert set(map(frozenset, graph.edges())) == \
+                set(map(frozenset, again.edges()))
+
+    def test_stream_matches_graph_builder_on_both_sides(self):
+        for n, m in ((30, 60), (30, 30 * 29 // 2 - 3)):
+            stream = set(map(frozenset, gnm_edges(n, m, seed=8)))
+            built = set(map(frozenset, erdos_renyi_gnm(n, m, seed=8).edges()))
+            assert stream == built
+
+    def test_stream_validates_like_the_builder(self):
+        with pytest.raises(ValueError):
+            gnm_edges(10, 100, seed=1)
+
+
+class TestGnpSkipSampling:
+    def test_pair_index_inverse_is_exact(self):
+        from repro.graph.generators import _pair_from_index
+
+        n = 23
+        expected = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        assert [_pair_from_index(k, n)
+                for k in range(len(expected))] == expected
+
+    def test_draw_count_is_linear_in_edges_not_pairs(self):
+        # The old loop flipped one coin per pair: n=2000 means ~2M draws.
+        # Geometric skips draw once per edge (expected p * pairs + 1).
+        rng_holder = {}
+
+        def counting_random(seed):
+            rng = _CountingRandom(seed)
+            rng_holder["rng"] = rng
+            return rng
+
+        import unittest.mock
+
+        from repro.graph import generators
+
+        with unittest.mock.patch.object(generators.random, "Random",
+                                        counting_random):
+            edges = list(gnp_edges(2000, 0.001, seed=6))
+        draws = rng_holder["rng"].draws
+        assert draws == len(edges) + 1
+        assert draws < 10_000
+
+    def test_edge_probability_is_calibrated(self):
+        n, p = 300, 0.05
+        graph = erdos_renyi_gnp(n, p, seed=12)
+        expected = p * n * (n - 1) / 2
+        assert abs(graph.edge_count - expected) < 6 * (expected ** 0.5)
+
+    def test_deterministic_and_simple(self):
+        a = erdos_renyi_gnp(50, 0.2, seed=3)
+        b = erdos_renyi_gnp(50, 0.2, seed=3)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+        assert all(u != v for u, v in a.edges())
+
+
+class TestPreferentialAttachmentStream:
+    def test_stream_matches_barabasi_albert_exactly(self):
+        for seed in (0, 7, 42):
+            graph = barabasi_albert(200, 3, seed=seed)
+            stream = set(map(frozenset,
+                             preferential_attachment_edges(200, 3, seed=seed)))
+            assert stream == set(map(frozenset, graph.edges()))
+
+    def test_stream_validates_like_the_builder(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(3, 5, seed=1)
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(10, 0, seed=1)

@@ -101,3 +101,94 @@ class TestQuasiCliqueFiles:
         path = tmp_path / "qcs.txt"
         path.write_text("% comment\n1 2 3\n\n")
         assert read_quasi_cliques(path) == [frozenset({1, 2, 3})]
+
+
+class TestLabelConversion:
+    def test_zero_padded_labels_stay_distinct(self):
+        # Regression: a bare int() merged "01", "+1", " 1" and "1" into the
+        # single vertex 1, silently collapsing vertices and dropping edges.
+        graph = read_edge_list(io.StringIO("01 2\n1 2\n+1 2\n"))
+        assert set(graph.vertices()) == {"01", 1, "+1", 2}
+        assert graph.edge_count == 3
+
+    def test_canonical_integers_still_convert(self):
+        graph = read_edge_list(io.StringIO("1 2\n-3 2\n10 2\n"))
+        assert set(graph.vertices()) == {1, 2, -3, 10}
+
+    def test_non_canonical_forms_stay_strings(self):
+        from repro.graph.io import _maybe_int
+
+        assert _maybe_int("1") == 1
+        assert _maybe_int("-3") == -3
+        for text in ("01", "+1", " 1", "1 ", "0x1", "1_0", ""):
+            assert _maybe_int(text) == text
+
+
+class TestDuplicateDetection:
+    def test_duplicates_allowed_by_default(self):
+        pairs = list(iter_edge_list(["1 2", "2 1", "1 2"]))
+        assert pairs == [("1", "2"), ("2", "1"), ("1", "2")]
+
+    def test_duplicate_same_orientation_rejected(self):
+        with pytest.raises(GraphError, match="line 3: duplicate edge"):
+            list(iter_edge_list(["1 2", "2 3", "1 2"],
+                                directed_duplicates_ok=False))
+
+    def test_duplicate_reversed_orientation_rejected(self):
+        with pytest.raises(GraphError, match="line 2: duplicate edge '2' -- '1'"):
+            list(iter_edge_list(["1 2", "2 1"], directed_duplicates_ok=False))
+
+    def test_distinct_edges_pass_with_detection_on(self):
+        pairs = list(iter_edge_list(["1 2", "2 3", "% 1 2", "3 1"],
+                                    directed_duplicates_ok=False))
+        assert pairs == [("1", "2"), ("2", "3"), ("3", "1")]
+
+
+class TestStreamingIngestion:
+    def test_ingest_matches_read_edge_list(self):
+        from repro.graph.io import ingest_edge_list
+
+        text = "% comment\n1 2 9.5\n2 3\n01 3\na b\n3 3\n"
+        dict_graph = read_edge_list(io.StringIO(text))
+        csr_graph = ingest_edge_list(io.StringIO(text))
+        assert set(csr_graph.vertices()) == set(dict_graph.vertices())
+        assert set(map(frozenset, csr_graph.edges())) == \
+            set(map(frozenset, dict_graph.edges()))
+
+    def test_ingest_respects_flags(self):
+        from repro.graph.io import ingest_edge_list
+
+        strings = ingest_edge_list(io.StringIO("1 2\n"), as_int=False)
+        assert set(strings.vertices()) == {"1", "2"}
+        with pytest.raises(GraphError, match="duplicate edge"):
+            ingest_edge_list(io.StringIO("1 2\n2 1\n"),
+                             directed_duplicates_ok=False)
+
+    def test_ingest_malformed_line_reports_position(self):
+        from repro.graph.io import ingest_edge_list
+
+        with pytest.raises(GraphError, match="line 2"):
+            ingest_edge_list(io.StringIO("1 2\nbroken\n"))
+
+    def test_round_trip_at_one_hundred_thousand_edges(self, tmp_path):
+        # The large-graph tier's contract: 10^5 edges stream through the
+        # loader into CSR form and write back losslessly, never touching the
+        # O(n^2)-bit representation.
+        from repro.graph import gnm_edges
+        from repro.graph.io import ingest_edge_list
+
+        path = tmp_path / "large.txt"
+        edge_count = 100_000
+        with open(path, "w", encoding="utf-8") as handle:
+            for u, v in gnm_edges(40_000, edge_count, seed=17):
+                handle.write(f"{u} {v}\n")
+        graph = ingest_edge_list(path)
+        assert graph.edge_count == edge_count
+        assert graph.vertex_count <= 40_000
+        back = tmp_path / "back.txt"
+        write_edge_list(graph, back)
+        again = ingest_edge_list(back)
+        assert again.vertex_count == graph.vertex_count
+        assert again.edge_count == graph.edge_count
+        assert set(map(frozenset, again.edges())) == \
+            set(map(frozenset, graph.edges()))
