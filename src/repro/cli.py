@@ -624,15 +624,20 @@ DEFAULT_SERVE_PORT = 7411
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .resilience import install_plan
     from .serve import ReproService
 
+    if args.faults:
+        install_plan(args.faults)
     service = ReproService(
         host=args.host, port=args.port,
         max_concurrent=args.max_concurrent, max_queue=args.max_queue,
         default_time_limit=args.default_time_limit,
         max_time_limit=args.max_time_limit, max_results=args.max_results,
         batch_size=args.batch_size, single_flight=not args.no_coalesce,
-        allow_shutdown=args.allow_shutdown, trace_dir=args.trace_dir)
+        allow_shutdown=args.allow_shutdown, trace_dir=args.trace_dir,
+        circuit_threshold=args.circuit_threshold,
+        circuit_reset=args.circuit_reset)
     for name in args.dataset or []:
         service.add_dataset(name)
     if args.input:
@@ -659,10 +664,14 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_client(args: argparse.Namespace) -> int:
+    from .resilience import RetryPolicy
     from .serve import ServeClient
+    from .serve.protocol import clique_to_wire
 
+    retry = (RetryPolicy(max_attempts=args.retries + 1)
+             if args.retries > 0 else None)
     with ServeClient(host=args.host, port=args.port,
-                     timeout=args.timeout) as client:
+                     timeout=args.timeout, retry=retry) as client:
         if args.query or args.spec:
             if args.spec:
                 spec_fields = QuerySpec.fields_from_json(
@@ -671,17 +680,31 @@ def _command_client(args: argparse.Namespace) -> int:
                 spec_fields = QuerySpec.fields_from_json(args.query)
             done: dict = {}
             count = 0
-            for frame in client.query_stream(spec_fields, graph=args.graph,
-                                             batch=args.batch):
-                if frame["type"] == "batch":
-                    for clique in frame["cliques"]:
-                        count += 1
-                        if args.json:
-                            print(json.dumps({"clique": clique}), flush=True)
-                        else:
-                            print(" ".join(str(v) for v in clique), flush=True)
-                else:
-                    done = frame
+            if retry is not None or args.deadline is not None:
+                # The resilient path: retries with backoff, stream resume
+                # and deadline propagation (batches print on completion).
+                cliques, done = client.query(spec_fields, graph=args.graph,
+                                             batch=args.batch,
+                                             deadline=args.deadline)
+                for clique in sorted(map(clique_to_wire, cliques)):
+                    count += 1
+                    if args.json:
+                        print(json.dumps({"clique": clique}), flush=True)
+                    else:
+                        print(" ".join(str(v) for v in clique), flush=True)
+            else:
+                for frame in client.query_stream(spec_fields, graph=args.graph,
+                                                 batch=args.batch):
+                    if frame["type"] == "batch":
+                        for clique in frame["cliques"]:
+                            count += 1
+                            if args.json:
+                                print(json.dumps({"clique": clique}), flush=True)
+                            else:
+                                print(" ".join(str(v) for v in clique),
+                                      flush=True)
+                    else:
+                        done = frame
             if args.json:
                 print(json.dumps(done))
             else:
@@ -712,9 +735,11 @@ def _command_client(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
-    from .serve import SpoolWorker
+    from .serve import SpoolQueue, SpoolWorker
 
-    worker = SpoolWorker(args.spool, worker_id=args.worker_id)
+    spool = SpoolQueue(args.spool, lease_seconds=args.lease_seconds,
+                       max_attempts=args.max_attempts)
+    worker = SpoolWorker(spool, worker_id=args.worker_id)
 
     def _report(w) -> None:
         print(f"# {w.worker_id}: {w.processed} tasks processed", flush=True)
@@ -972,6 +997,18 @@ def build_parser() -> argparse.ArgumentParser:
                               help="honour the 'shutdown' wire operation")
     serve_parser.add_argument("--trace-dir", metavar="DIR",
                               help="write a Chrome trace per query request here")
+    serve_parser.add_argument("--circuit-threshold", type=int, default=5,
+                              metavar="N", help="consecutive failures per "
+                              "(graph, spec) before its circuit opens "
+                              "(default 5)")
+    serve_parser.add_argument("--circuit-reset", type=float, default=30.0,
+                              metavar="SECONDS", help="seconds an open circuit "
+                              "waits before a half-open probe (default 30)")
+    serve_parser.add_argument("--faults", metavar="PLAN",
+                              help="deterministic fault-injection plan "
+                              "(REPRO_FAULTS syntax, e.g. "
+                              "'serve.write_frame:drop:times=2'); chaos "
+                              "testing only")
     serve_parser.set_defaults(handler=_command_serve)
 
     client_parser = subparsers.add_parser(
@@ -983,6 +1020,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "when the server hosts several)")
     client_parser.add_argument("--timeout", type=float, default=60.0,
                                help="socket timeout in seconds (default 60)")
+    client_parser.add_argument("--retries", type=int, default=0, metavar="N",
+                               help="retry transient failures up to N times "
+                               "with decorrelated-jitter backoff, resuming "
+                               "interrupted query streams (default 0)")
+    client_parser.add_argument("--deadline", type=float, metavar="SECONDS",
+                               help="overall wall-clock budget; bounds the "
+                               "retry loop and clamps the server-side "
+                               "enumeration budget")
     client_action = client_parser.add_mutually_exclusive_group()
     client_action.add_argument("--query", metavar="JSON",
                                help="QuerySpec fields as an inline JSON object")
@@ -1018,6 +1063,13 @@ def build_parser() -> argparse.ArgumentParser:
                                help="idle poll interval in seconds (default 0.1)")
     worker_parser.add_argument("--worker-id", help="stable worker identity "
                                "(default: host-pid)")
+    worker_parser.add_argument("--lease-seconds", type=float, default=15.0,
+                               metavar="SECONDS", help="claimed-task lease; a "
+                               "task whose worker stops heartbeating this "
+                               "long is reclaimed (default 15)")
+    worker_parser.add_argument("--max-attempts", type=int, default=3,
+                               metavar="N", help="execution attempts per task "
+                               "before dead-letter quarantine (default 3)")
     worker_parser.add_argument("--verbose", "-v", action="store_true",
                                help="print a line per processed task")
     worker_parser.set_defaults(handler=_command_worker)

@@ -65,6 +65,80 @@ class ServiceOverloadedError(ReproError):
         self.queued = queued
 
 
+class FaultInjectedError(ReproError):
+    """Raised by an armed :mod:`repro.resilience.faults` injection site.
+
+    Chaos tests install a :class:`~repro.resilience.faults.FaultPlan` whose
+    ``raise`` rules surface as this type, so recovery code can be asserted to
+    retry *injected* faults without accidentally swallowing real bugs.
+    """
+
+    def __init__(self, message: str = "injected fault", *,
+                 site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class SpoolCorruptionError(ReproError):
+    """A spool payload failed its checksum (truncated or corrupt pickle)."""
+
+
+class TaskPoisonedError(ReproError):
+    """A spooled task exhausted its attempt budget and was quarantined.
+
+    Raised by :meth:`repro.serve.worker.SpoolQueue.collect` once a task has
+    been moved to the dead-letter directory; carries the quarantine report.
+    """
+
+    def __init__(self, message: str = "task poisoned", *,
+                 task_id: str | None = None, report: dict | None = None) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+        self.report = report
+
+
+class SpoolTimeoutError(ReproError):
+    """A spool collect timed out; partial progress rides on the exception.
+
+    ``completed`` holds every :class:`~repro.serve.worker.TaskResult` already
+    collected (nothing is discarded) and ``outstanding`` the task ids still
+    missing, so a coordinator can resume, report, or degrade gracefully.
+    """
+
+    def __init__(self, message: str = "spool collect timed out", *,
+                 completed: list | None = None,
+                 outstanding: list | None = None) -> None:
+        super().__init__(message)
+        self.completed = completed or []
+        self.outstanding = outstanding or []
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open: the request fails fast instead of running.
+
+    The serve layer opens one circuit per ``(graph, resolved spec)`` after
+    repeated enumeration faults; ``retry_after`` is the seconds until the
+    breaker half-opens for a probe.
+    """
+
+    def __init__(self, message: str = "circuit open", *,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline elapsed before (or while) serving it."""
+
+
+class ConnectionLostError(ReproError):
+    """The serve connection died mid-request (EOF, reset, truncated frame).
+
+    The client closes the dead socket before raising, so the instance is
+    reconnectable; retry-aware callers treat this as transient.
+    """
+
+
 __all__ = [
     "ReproError",
     "QueryError",
@@ -72,4 +146,11 @@ __all__ = [
     "SpecError",
     "EngineError",
     "ServiceOverloadedError",
+    "FaultInjectedError",
+    "SpoolCorruptionError",
+    "TaskPoisonedError",
+    "SpoolTimeoutError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "ConnectionLostError",
 ]

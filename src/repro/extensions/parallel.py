@@ -36,6 +36,7 @@ from ..core.fastqc import FastQC
 from ..graph.graph import Graph
 from ..obs.metrics import REGISTRY, MetricsRegistry
 from ..quasiclique.definitions import validate_parameters
+from ..resilience.faults import fault_point
 from ..settrie.filter import filter_non_maximal
 
 # Module-level worker state, initialised once per worker process.
@@ -93,6 +94,7 @@ def run_compact_subproblem(subproblem: CompactSubproblem, gamma: float,
     snapshot for the coordinating process to merge (see
     :func:`_worker_metrics`).
     """
+    fault_point("engine.subproblem")
     graph = subproblem.build_graph()
     maximality = (subproblem.build_maximality_graph()
                   if subproblem.halo_labels else graph)

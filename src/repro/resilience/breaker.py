@@ -1,0 +1,144 @@
+"""Circuit breaking: fail fast on a query that keeps blowing up.
+
+A query that deterministically faults (poisoned data, a bug tickled by one
+spec, an injected chaos rule) would otherwise burn an enumeration slot on
+every arrival — the worst possible spend under load.  A :class:`CircuitBreaker`
+tracks consecutive failures per key; once ``failure_threshold`` is reached it
+**opens** and every caller fails fast with the typed
+:class:`~repro.errors.CircuitOpenError` (cost: a dict lookup, not an
+enumeration).  After ``reset_timeout`` seconds it **half-opens**: exactly one
+probe is allowed through; success closes the circuit, failure re-opens it for
+another full timeout.
+
+The serve layer keys breakers on ``(graph, resolved spec)`` — one misbehaving
+query cannot open the circuit for its neighbours — and mirrors each state
+into the ``repro_serve_circuit_state`` gauge (0 closed, 1 half-open, 2 open).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from ..errors import CircuitOpenError
+
+#: Gauge values for the three states (Prometheus-friendly ordering).
+CLOSED, HALF_OPEN, OPEN = 0, 1, 2
+_STATE_NAMES = {CLOSED: "closed", HALF_OPEN: "half-open", OPEN: "open"}
+
+
+class CircuitBreaker:
+    """One key's failure tracker: closed -> open -> half-open -> closed."""
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout: float = 30.0,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> int:
+        with self._lock:
+            return self._state_locked()
+
+    @property
+    def state_name(self) -> str:
+        return _STATE_NAMES[self.state]
+
+    def _state_locked(self) -> int:
+        if self._opened_at is None:
+            return CLOSED
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            return HALF_OPEN
+        return OPEN
+
+    # ------------------------------------------------------------------
+    # The caller protocol: allow() before, record_*() after
+    # ------------------------------------------------------------------
+    def allow(self) -> None:
+        """Admit one call or raise :class:`CircuitOpenError` immediately.
+
+        In the half-open state exactly one caller is admitted as the probe;
+        concurrent arrivals keep failing fast until the probe reports.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return
+            retry_after = (self.reset_timeout
+                           - (self._clock() - (self._opened_at or 0.0)))
+            raise CircuitOpenError(
+                f"circuit open after {self._failures} consecutive failures; "
+                f"probe in {max(0.0, retry_after):.3f}s",
+                retry_after=max(0.0, retry_after))
+
+    def record_success(self) -> None:
+        """A call completed: close the circuit and clear the failure run."""
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A call faulted: count it; open (or re-open) past the threshold."""
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"state": _STATE_NAMES[self._state_locked()],
+                    "consecutive_failures": self._failures,
+                    "failure_threshold": self.failure_threshold,
+                    "reset_timeout": self.reset_timeout}
+
+
+class BreakerBoard:
+    """A lazily-populated table of breakers, one per hashable key."""
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout: float = 30.0,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict = {}
+
+    def for_key(self, key) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    self.failure_threshold, self.reset_timeout,
+                    clock=self._clock)
+            return breaker
+
+    def stats(self) -> dict:
+        """Non-closed breakers only (the interesting ones), by key repr."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {repr(key): breaker.stats() for key, breaker in items
+                if breaker.state != CLOSED}
+
+    def __len__(self) -> int:
+        return len(self._breakers)
+
+
+__all__ = ["BreakerBoard", "CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]

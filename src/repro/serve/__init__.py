@@ -11,9 +11,16 @@ This package turns the engine stack into a server process:
   identical cold queries runs exactly one enumeration);
 * :mod:`repro.serve.admission` — bounded concurrency with typed load
   shedding (:class:`~repro.errors.ServiceOverloadedError`);
-* :mod:`repro.serve.client` — the blocking :class:`ServeClient`;
+* :mod:`repro.serve.client` — the blocking :class:`ServeClient`, with
+  retry/backoff and mid-stream resume (see :mod:`repro.resilience`);
 * :mod:`repro.serve.worker` — pull-based worker fan-out over a file-backed
-  spool of :class:`~repro.core.dcfastqc.CompactSubproblem` payloads.
+  spool of :class:`~repro.core.dcfastqc.CompactSubproblem` payloads, with
+  lease-based crash recovery, checksummed payloads and a dead-letter
+  quarantine.
+
+The whole stack is threaded through :mod:`repro.resilience`: deterministic
+fault injection at named sites, per-``(graph, spec)`` circuit breaking, and
+per-request deadlines that clamp server-side enumeration budgets.
 
 Quick start (in-process, for tests and notebooks)::
 

@@ -78,15 +78,25 @@ class AdmissionController:
     # ------------------------------------------------------------------
     # Budget policy
     # ------------------------------------------------------------------
-    def apply_budgets(self, spec: QuerySpec) -> QuerySpec:
-        """Overlay the server's budget policy on one incoming spec."""
+    def apply_budgets(self, spec: QuerySpec, *,
+                      deadline: float | None = None) -> QuerySpec:
+        """Overlay the server's budget policy on one incoming spec.
+
+        ``deadline`` is the client's remaining wall-clock budget in seconds
+        (the wire's ``deadline`` field): the effective ``time_limit`` is
+        clamped to it, so the server never spends longer on an enumeration
+        than the client will wait for the answer.
+        """
         changes: dict = {}
         time_limit = spec.time_limit
         if time_limit is None and self.default_time_limit is not None:
-            changes["time_limit"] = self.default_time_limit
+            time_limit = changes["time_limit"] = self.default_time_limit
         elif (time_limit is not None and self.max_time_limit is not None
                 and time_limit > self.max_time_limit):
-            changes["time_limit"] = self.max_time_limit
+            time_limit = changes["time_limit"] = self.max_time_limit
+        if deadline is not None and (time_limit is None
+                                     or time_limit > deadline):
+            changes["time_limit"] = deadline
         if self.max_results is not None and (spec.max_results is None
                                              or spec.max_results > self.max_results):
             changes["max_results"] = self.max_results

@@ -61,6 +61,14 @@ class Flight:
         self.stream = None                 # the leader's ResultStream, if any
         self.task: asyncio.Task | None = None
         self.joined = 0
+        # Stream identity for resume: two flights may only honor each
+        # other's ``resume_from`` offsets when they share a token, i.e. when
+        # both replay the same deterministic batch sequence.  The leader sets
+        # it once the stream's provenance (cache replay vs live enumeration)
+        # is known and then fires ``token_ready``; error paths fire it via
+        # :meth:`finish` so subscribers never wait forever.
+        self.stream_token: str | None = None
+        self.token_ready = asyncio.Event()
 
     # -- subscriber side (event loop) ----------------------------------
     def subscribe(self) -> tuple[list[list], asyncio.Queue | None]:
@@ -110,6 +118,7 @@ class Flight:
                      error: dict | None = None, outcome: str = "ok") -> None:
         """Mark the flight complete and wake every subscriber."""
         self.done = True
+        self.token_ready.set()
         self.summary = summary
         self.error = error
         self.outcome = outcome if error is None or outcome != "ok" else "error"

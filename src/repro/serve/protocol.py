@@ -15,7 +15,18 @@ Requests
     Run one :class:`repro.api.QuerySpec` against the named graph.  The server
     answers with zero or more ``batch`` frames followed by one ``done`` frame
     (or one ``error`` frame).  Optional ``"batch"`` sets the per-frame clique
-    count.
+    count.  Resilience fields (all optional): ``"resume_from"`` skips the
+    first N batches of the deterministic stream — a client reconnecting
+    after a transport loss resumes where it stopped, and the ``seq`` numbers
+    continue as if uninterrupted; ``"resume_stream"`` names the stream
+    token the acked batches carried (batch and done frames include a
+    ``"stream"`` field) — the server honors ``resume_from`` only against
+    the same token, and restarts from batch 0 otherwise, because a retry
+    may land on a differently-ordered sequence (a live enumeration emits in
+    discovery order, the cache replay in canonical order); ``"deadline"``
+    (seconds) clamps the server-side enumeration budget to what the client
+    will actually wait; ``"attempt"`` marks a retried request (counted in
+    ``repro_serve_retries_total``).
 ``{"op": "mutate", "graph": NAME, "updates": [["add_edge", 1, 2], ...]}``
     Apply a batch of graph mutations (the :mod:`repro.dynamic.updates`
     spellings; a ``"script"`` string of update-script lines is also accepted)
@@ -49,7 +60,7 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable
 
-from ..errors import ReproError, ServiceOverloadedError
+from ..errors import CircuitOpenError, ReproError, ServiceOverloadedError
 
 #: Request operations the server understands.
 OPERATIONS = ("query", "mutate", "graphs", "stats", "ping", "flush", "shutdown")
@@ -96,8 +107,26 @@ def validate_request(payload: dict) -> str:
     if op not in OPERATIONS:
         raise ProtocolError(f"unknown operation {op!r}; "
                             f"expected one of {OPERATIONS}")
-    if op == "query" and not isinstance(payload.get("spec"), dict):
-        raise ProtocolError("a query request needs a 'spec' object")
+    if op == "query":
+        if not isinstance(payload.get("spec"), dict):
+            raise ProtocolError("a query request needs a 'spec' object")
+        resume_from = payload.get("resume_from", 0)
+        if not isinstance(resume_from, int) or isinstance(resume_from, bool) \
+                or resume_from < 0:
+            raise ProtocolError("'resume_from' must be a non-negative integer")
+        attempt = payload.get("attempt", 0)
+        if not isinstance(attempt, int) or isinstance(attempt, bool) \
+                or attempt < 0:
+            raise ProtocolError("'attempt' must be a non-negative integer")
+        resume_stream = payload.get("resume_stream")
+        if resume_stream is not None and not isinstance(resume_stream, str):
+            raise ProtocolError("'resume_stream' must be a string")
+        deadline = payload.get("deadline")
+        if deadline is not None and (not isinstance(deadline, (int, float))
+                                     or isinstance(deadline, bool)
+                                     or deadline <= 0):
+            raise ProtocolError("'deadline' must be a positive number "
+                                "of seconds")
     if op == "mutate" and not (isinstance(payload.get("updates"), list)
                                or isinstance(payload.get("script"), str)):
         raise ProtocolError("a mutate request needs 'updates' or 'script'")
@@ -126,6 +155,8 @@ def error_payload(exc: BaseException) -> dict:
     if isinstance(exc, ServiceOverloadedError):
         payload["running"] = exc.running
         payload["queued"] = exc.queued
+    if isinstance(exc, CircuitOpenError) and exc.retry_after is not None:
+        payload["retry_after"] = round(exc.retry_after, 6)
     return payload
 
 
@@ -154,6 +185,8 @@ def exception_from_payload(payload: dict) -> ReproError:
     if cls is ServiceOverloadedError:
         return ServiceOverloadedError(message, running=payload.get("running"),
                                       queued=payload.get("queued"))
+    if cls is CircuitOpenError:
+        return CircuitOpenError(message, retry_after=payload.get("retry_after"))
     if cls is not None:
         try:
             return cls(message)

@@ -15,6 +15,14 @@ number of client connections over one asyncio event loop:
 * **admission control** bounds concurrent enumerations and sheds load with a
   typed :class:`~repro.errors.ServiceOverloadedError` once its wait queue is
   full (see :mod:`repro.serve.admission`);
+* **failure degrades gracefully** — per-request deadlines clamp the
+  enumeration budget to what the client will actually wait, a circuit
+  breaker per ``(graph, resolved spec)`` fails persistent faulters fast
+  with the typed :class:`~repro.errors.CircuitOpenError` (half-open probe
+  after the reset timeout), interrupted query streams resume mid-flight via
+  the protocol's ``resume_from`` field, and the hot paths carry named
+  :func:`repro.resilience.faults.fault_point` sites so chaos tests schedule
+  exactly these failures deterministically;
 * **mutations** apply between queries under a per-graph writer-priority
   read/write gate, flowing through the dynamic engine's selective cache
   invalidation, so warm entries survive updates exactly as in-process;
@@ -35,16 +43,20 @@ import asyncio
 import json
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
-from contextlib import asynccontextmanager
+from contextlib import asynccontextmanager, suppress
 
 from ..api.spec import QuerySpec
 from ..dynamic import DynamicEngine
 from ..dynamic.updates import parse_updates, normalise_update
-from ..errors import ReproError, ServiceOverloadedError
+from ..errors import (CircuitOpenError, DeadlineExceededError, ReproError,
+                      ServiceOverloadedError)
 from ..graph.graph import Graph
 from ..obs.metrics import REGISTRY, render_prometheus
 from ..obs.trace import NULL_TRACER, Tracer
+from ..resilience.breaker import BreakerBoard
+from ..resilience.faults import fault_point
 from .admission import AdmissionController
 from .coalesce import SingleFlight
 from .protocol import (DEFAULT_BATCH_SIZE, HTTP_METHODS, ProtocolError,
@@ -63,6 +75,12 @@ _BATCHES = REGISTRY.counter(
 _TTFB = REGISTRY.histogram(
     "repro_serve_time_to_first_batch_ms",
     "Milliseconds from enumeration start to the first published batch")
+_SERVE_RETRIES = REGISTRY.counter(
+    "repro_serve_retries_total",
+    "Query requests arriving as client retries or stream resumes, by kind")
+_CIRCUIT_STATE = REGISTRY.gauge(
+    "repro_serve_circuit_state",
+    "Circuit-breaker state per graph (0 closed, 1 half-open, 2 open)")
 
 
 class _ReadWriteGate:
@@ -169,6 +187,11 @@ class ReproService:
     trace_dir:
         When set, each query request writes a Chrome trace of its phase
         spans to ``trace_dir/request-N.json``.
+    circuit_threshold, circuit_reset:
+        The per-``(graph, resolved spec)`` circuit breaker: after
+        ``circuit_threshold`` consecutive enumeration failures that key
+        fails fast with :class:`~repro.errors.CircuitOpenError` for
+        ``circuit_reset`` seconds, then admits one half-open probe.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -178,7 +201,8 @@ class ReproService:
                  max_results: int | None = None,
                  batch_size: int = DEFAULT_BATCH_SIZE, queue_size: int = 8,
                  single_flight: bool = True, allow_shutdown: bool = False,
-                 trace_dir: str | None = None) -> None:
+                 trace_dir: str | None = None, circuit_threshold: int = 5,
+                 circuit_reset: float = 30.0) -> None:
         self.host = host
         self.port = port
         self.batch_size = batch_size
@@ -190,6 +214,7 @@ class ReproService:
             default_time_limit=default_time_limit,
             max_time_limit=max_time_limit, max_results=max_results)
         self.flights = SingleFlight(queue_size=queue_size)
+        self.breakers = BreakerBoard(circuit_threshold, circuit_reset)
         self.hosts: dict[str, GraphHost] = {}
         self.started_at: float | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -314,6 +339,12 @@ class ReproService:
         except ServiceOverloadedError as exc:
             _REQUESTS.inc(op=op, outcome="overloaded")
             await self._write(writer, error_payload(exc))
+        except CircuitOpenError as exc:
+            _REQUESTS.inc(op=op, outcome="circuit-open")
+            await self._write(writer, error_payload(exc))
+        except DeadlineExceededError as exc:
+            _REQUESTS.inc(op=op, outcome="deadline")
+            await self._write(writer, error_payload(exc))
         except ReproError as exc:
             _REQUESTS.inc(op=op, outcome="error")
             await self._write(writer, error_payload(exc))
@@ -323,7 +354,21 @@ class ReproService:
         return False
 
     async def _write(self, writer: asyncio.StreamWriter, payload: dict) -> None:
-        writer.write(encode_frame(payload))
+        action = fault_point("serve.write_frame")
+        if action == "drop":
+            # Simulate an abrupt connection loss: RST, nothing flushed.
+            writer.transport.abort()
+            raise ConnectionResetError("injected connection drop")
+        data = encode_frame(payload)
+        if action == "truncate":
+            # Half a frame then a hard close: the client must treat the torn
+            # line as transport loss, never as a parseable frame.
+            writer.write(data[: max(1, len(data) // 2)])
+            with suppress(ConnectionResetError, BrokenPipeError, OSError):
+                await writer.drain()
+            writer.transport.abort()
+            raise ConnectionResetError("injected truncated write")
+        writer.write(data)
         await writer.drain()
 
     # ------------------------------------------------------------------
@@ -379,7 +424,17 @@ class ReproService:
     # ------------------------------------------------------------------
     async def _op_query(self, payload: dict, writer) -> None:
         host = self._host(payload.get("graph"))
-        spec = self.admission.apply_budgets(QuerySpec.from_dict(payload["spec"]))
+        deadline = payload.get("deadline")
+        resume_from = int(payload.get("resume_from") or 0)
+        resume_token = payload.get("resume_stream")
+        attempt = int(payload.get("attempt") or 0)
+        if resume_from:
+            _SERVE_RETRIES.inc(kind="resume")
+        elif attempt:
+            _SERVE_RETRIES.inc(kind="retry")
+        spec = self.admission.apply_budgets(
+            QuerySpec.from_dict(payload["spec"]),
+            deadline=float(deadline) if deadline is not None else None)
         batch_size = max(1, int(payload.get("batch") or self.batch_size))
         host.queries += 1
         tracer = self._request_tracer()
@@ -389,32 +444,63 @@ class ReproService:
             # mid-plan); the enumeration itself re-acquires the read gate in
             # the leader task for its whole duration.
             async with host.gate.reading():
-                if self.single_flight:
-                    key = host.flight_key(spec)
-                else:
-                    self._flight_seq += 1
-                    key = (host.name, "uncoalesced", self._flight_seq)
+                resolved = spec.resolved(host.engine.explain(spec=spec))
+                fingerprint = host.engine.prepared.fingerprint
+            # The breaker key deliberately drops the content fingerprint:
+            # a (graph, resolved spec) that keeps faulting stays open across
+            # mutations until its reset timeout, unlike the flight key.
+            breaker = self.breakers.for_key((host.name, resolved))
+            breaker.allow()
+            _CIRCUIT_STATE.set(breaker.state, graph=host.name)
+            if self.single_flight:
+                key = (host.name, fingerprint, resolved)
+            else:
+                self._flight_seq += 1
+                key = (host.name, "uncoalesced", self._flight_seq)
+            # The cache-replay token is shared by every flight that replays
+            # this exact cached sequence; live enumerations get a unique one
+            # in the leader (their emission order differs from the replay).
+            cache_token = (f"c:{host.name}:{fingerprint}:"
+                           f"{abs(hash(resolved)):x}")
             flight, created = self.flights.get_or_create(key)
             if created:
                 flight.task = asyncio.get_running_loop().create_task(
-                    self._lead_flight(flight, host, spec, batch_size, tracer))
+                    self._lead_flight(flight, host, spec, batch_size, tracer,
+                                      breaker=breaker,
+                                      cache_token=cache_token))
             snapshot, queue = flight.subscribe()
             try:
+                # Resume is only sound against the *same* batch sequence the
+                # client already acked — identified by the stream token a
+                # dropped stream's frames carried.  A mismatch (e.g. the
+                # first attempt rode a live enumeration and the retry hits
+                # the cache replay, whose order differs) restarts from 0;
+                # the client detects the restart from the seq numbers.
+                await flight.token_ready.wait()
+                if resume_from and resume_token != flight.stream_token:
+                    resume_from = 0
+                # ``seq`` numbers every batch of the (deterministic) stream;
+                # a resuming client already holds batches < resume_from, so
+                # those are skipped on the wire but still counted — the
+                # delivered seq values continue exactly where they stopped.
                 seq = 0
                 for batch in snapshot:
-                    await self._write_batch(writer, seq, batch)
+                    if seq >= resume_from:
+                        await self._write_batch(writer, seq, batch, flight)
                     seq += 1
                 while queue is not None:
                     item = await queue.get()
                     if item[0] != "batch":
                         break
-                    await self._write_batch(writer, seq, item[1])
+                    if seq >= resume_from:
+                        await self._write_batch(writer, seq, item[1], flight)
                     seq += 1
             finally:
                 flight.leave(queue)
                 if flight.done:
                     self.flights.discard(flight)
-            request_span.annotate(batches=seq, coalesced=not created)
+            request_span.annotate(batches=seq, coalesced=not created,
+                                  resumed_from=resume_from)
         if flight.error is not None:
             if flight.error.get("error") == "ServiceOverloadedError":
                 # Re-raise so the per-request outcome counter says "overloaded".
@@ -423,36 +509,67 @@ class ReproService:
             await self._write(writer, flight.error)
             return
         done = dict(flight.summary or {})
-        done.update(type="done", coalesced=not created, batches=seq)
+        done.update(type="done", coalesced=not created, batches=seq,
+                    resumed_from=resume_from)
+        if flight.stream_token is not None:
+            done["stream"] = flight.stream_token
         await self._write(writer, done)
         self._write_request_trace(tracer)
 
-    async def _write_batch(self, writer, seq: int, batch: list) -> None:
+    async def _write_batch(self, writer, seq: int, batch: list,
+                           flight) -> None:
         _BATCHES.inc()
-        await self._write(writer, {"type": "batch", "seq": seq, "cliques": batch})
+        frame = {"type": "batch", "seq": seq, "cliques": batch}
+        if flight.stream_token is not None:
+            frame["stream"] = flight.stream_token
+        await self._write(writer, frame)
 
     async def _lead_flight(self, flight, host: GraphHost, spec: QuerySpec,
-                           batch_size: int, tracer) -> None:
-        """The single-flight leader: admission, enumeration, publication."""
+                           batch_size: int, tracer, breaker=None,
+                           cache_token: str | None = None) -> None:
+        """The single-flight leader: admission, enumeration, publication.
+
+        The leader is also where the circuit breaker observes outcomes —
+        exactly one record per actual enumeration, however many subscribers
+        coalesced onto it.  Overload shedding is *not* a failure of the query
+        itself and leaves the breaker untouched.
+        """
         loop = asyncio.get_running_loop()
         try:
             with tracer.span("admission") as admission_span:
                 async with self.admission.slot():
                     admission_span.annotate(running=self.admission.running)
                     async with host.gate.reading():
+                        fault_point("serve.enumerate")
                         stream = host.open_stream(spec, tracer=tracer)
                         flight.stream = stream
+                        # Cache replays of the same key are byte-identical
+                        # across flights and share the cache token; a live
+                        # enumeration emits in discovery order, so its
+                        # sequence is resumable only within this flight.
+                        flight.stream_token = (
+                            cache_token if stream.from_cache
+                            else f"x:{uuid.uuid4().hex[:12]}")
+                        flight.token_ready.set()
                         summary = await loop.run_in_executor(
                             self._executor, self._pump_stream,
                             flight, stream, batch_size, loop)
+            if breaker is not None:
+                breaker.record_success()
             await flight.finish(summary=summary)
         except ServiceOverloadedError as exc:
             await flight.finish(error=error_payload(exc), outcome="overloaded")
         except ReproError as exc:
+            if breaker is not None:
+                breaker.record_failure()
             await flight.finish(error=error_payload(exc), outcome="error")
         except Exception as exc:  # noqa: BLE001 - surface, don't crash the loop
+            if breaker is not None:
+                breaker.record_failure()
             await flight.finish(error=error_payload(exc), outcome="error")
         finally:
+            if breaker is not None:
+                _CIRCUIT_STATE.set(breaker.state, graph=host.name)
             self.flights.discard(flight)
 
     def _pump_stream(self, flight, stream, batch_size: int,
@@ -538,6 +655,7 @@ class ReproService:
     def _stats_payload(self) -> dict:
         return {
             "admission": self.admission.stats(),
+            "circuits": self.breakers.stats(),
             "flights_in_table": len(self.flights),
             "graphs": {name: host.engine.stats()
                        for name, host in sorted(self.hosts.items())},

@@ -18,11 +18,39 @@ Spool layout (all under one root directory)::
       tasks/     task-<id>.pkl        # submitted, unclaimed
       claimed/   task-<id>.pkl        # atomically renamed here by one worker
       results/   task-<id>.pkl        # candidate batch + metrics snapshot
+      dead/      task-<id>.pkl + .json  # quarantined payloads + reports
 
 The claim is a bare ``os.replace`` — whichever worker renames first wins,
 the loser's ``FileNotFoundError`` just means "try the next task".  No locks,
-no daemons, crash-tolerant: a task stuck in ``claimed/`` (dead worker) can be
-requeued with :meth:`SpoolQueue.requeue_stale`.
+no daemons.
+
+Fault tolerance (see :mod:`repro.resilience`):
+
+* **Leases, not timers.**  A claimed task's file mtime is its lease
+  heartbeat: the owning :class:`SpoolWorker` renews it every few seconds
+  while enumerating.  A worker that dies (SIGKILL, OOM, power) stops
+  renewing; once ``lease_seconds`` elapse, *any* process — another worker's
+  idle loop or the coordinator's :meth:`SpoolQueue.collect` wait loop —
+  atomically reclaims the task back into ``tasks/`` via
+  :meth:`SpoolQueue.reclaim_expired`.
+* **Attempt counts and quarantine.**  Every reclaim or retry bumps the
+  task's ``attempts``; at ``max_attempts`` the task is moved to ``dead/``
+  with a JSON report and surfaces in ``collect`` as the typed
+  :class:`~repro.errors.TaskPoisonedError` — a poison task cannot wedge the
+  spool forever.
+* **Checksummed payloads.**  Every spool file carries a CRC32-checked
+  header; a truncated or corrupt pickle is quarantined with a report
+  instead of crashing the consumer (:class:`~repro.errors.SpoolCorruptionError`
+  internally).
+* **Partial progress on timeout.**  ``collect(timeout=...)`` raises
+  :class:`~repro.errors.SpoolTimeoutError` carrying every result already
+  collected plus the outstanding ids — nothing already computed is thrown
+  away.
+
+Because reclaimed tasks re-run the identical
+:func:`~repro.extensions.parallel.run_compact_subproblem` unit (maximality
+halo included), :func:`spool_enumerate` output is parity-identical to
+sequential DCFastQC under any interleaving of worker kills.
 
 Workers return per-task :class:`~repro.obs.metrics.MetricsRegistry` snapshots
 (they cannot inc the coordinator's registry across processes); the
@@ -32,19 +60,25 @@ exactly as if the work had run in-process.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import socket
+import struct
+import threading
 import time
 import uuid
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass, field, replace
 
 from ..core.dcfastqc import CompactSubproblem, DCFastQC
-from ..errors import ReproError
+from ..errors import (ReproError, SpoolCorruptionError, SpoolTimeoutError,
+                      TaskPoisonedError)
 from ..extensions.parallel import run_compact_subproblem
 from ..graph.graph import Graph
 from ..obs.metrics import REGISTRY
 from ..quasiclique.definitions import validate_parameters
+from ..resilience.faults import fault_point
 from ..settrie.filter import filter_non_maximal
 
 _TASKS = REGISTRY.counter(
@@ -53,6 +87,46 @@ _TASKS = REGISTRY.counter(
 _SPOOLED = REGISTRY.counter(
     "repro_worker_spooled_total",
     "Subproblem tasks submitted to a spool queue by a coordinator")
+_LEASES_EXPIRED = REGISTRY.counter(
+    "repro_spool_leases_expired_total",
+    "Claimed-task leases that expired (dead worker) and were reclaimed")
+_REQUEUED = REGISTRY.counter(
+    "repro_spool_requeued_total",
+    "Tasks returned to the spool for another attempt, by reason")
+_QUARANTINED = REGISTRY.counter(
+    "repro_spool_quarantined_total",
+    "Payloads moved to the dead-letter directory, by reason")
+_HEARTBEATS = REGISTRY.counter(
+    "repro_worker_heartbeats_total",
+    "Lease renewals written by spool workers")
+
+#: Checksum header: magic + CRC32 + payload length.
+_MAGIC = b"RSP1"
+_HEADER = struct.Struct("<4sII")
+
+
+def _dump_payload(payload) -> bytes:
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(_MAGIC, zlib.crc32(body) & 0xFFFFFFFF, len(body)) + body
+
+
+def _load_payload(data: bytes, source: str = "payload"):
+    if len(data) < _HEADER.size:
+        raise SpoolCorruptionError(f"{source}: truncated header "
+                                   f"({len(data)} bytes)")
+    magic, crc, length = _HEADER.unpack_from(data)
+    body = data[_HEADER.size:]
+    if magic != _MAGIC:
+        raise SpoolCorruptionError(f"{source}: bad magic {magic!r}")
+    if len(body) != length:
+        raise SpoolCorruptionError(f"{source}: truncated body "
+                                   f"({len(body)} of {length} bytes)")
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise SpoolCorruptionError(f"{source}: checksum mismatch")
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure
+        raise SpoolCorruptionError(f"{source}: unpicklable body: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -65,6 +139,7 @@ class WorkTask:
     theta: int
     branching: str = "hybrid"
     kernel: str = "ledger"
+    attempts: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,17 +152,32 @@ class TaskResult:
     seconds: float = 0.0
     worker: str = ""
     error: str | None = None
+    attempts: int = 0
 
 
 class SpoolQueue:
-    """The shared-directory task queue (both sides use this class)."""
+    """The shared-directory task queue (both sides use this class).
 
-    def __init__(self, root: str) -> None:
+    ``lease_seconds`` is how long a claimed task may go un-renewed before any
+    process may reclaim it; ``max_attempts`` is the total execution budget
+    per task before it is quarantined as poison.
+    """
+
+    def __init__(self, root: str, *, lease_seconds: float = 15.0,
+                 max_attempts: int = 3) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.root = root
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
         self.tasks_dir = os.path.join(root, "tasks")
         self.claimed_dir = os.path.join(root, "claimed")
         self.results_dir = os.path.join(root, "results")
-        for path in (self.tasks_dir, self.claimed_dir, self.results_dir):
+        self.dead_dir = os.path.join(root, "dead")
+        for path in (self.tasks_dir, self.claimed_dir, self.results_dir,
+                     self.dead_dir):
             os.makedirs(path, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -100,9 +190,70 @@ class SpoolQueue:
     def _write_atomic(self, directory: str, task_id: str, payload) -> None:
         final = os.path.join(directory, self._filename(task_id))
         tmp = final + f".tmp-{os.getpid()}"
+        data = _dump_payload(payload)
+        if fault_point("spool.write") == "truncate":
+            data = data[: max(1, len(data) // 2)]
         with open(tmp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(data)
         os.replace(tmp, final)
+
+    def _read_payload(self, path: str, source: str):
+        with open(path, "rb") as handle:
+            return _load_payload(handle.read(), source)
+
+    # ------------------------------------------------------------------
+    # Quarantine (dead-letter)
+    # ------------------------------------------------------------------
+    def quarantine(self, task_id: str, reason: str, *,
+                   payload_path: str | None = None,
+                   detail: str | None = None, attempts: int = 0) -> dict:
+        """Move a payload to ``dead/`` and write its JSON report."""
+        if payload_path is not None:
+            # Canonical name in dead/, whatever temp name the payload had.
+            target = os.path.join(self.dead_dir, self._filename(task_id))
+            try:
+                os.replace(payload_path, target)
+            except FileNotFoundError:
+                pass
+        report = {"task_id": task_id, "reason": reason, "detail": detail,
+                  "attempts": attempts, "time": time.time()}
+        report_path = os.path.join(self.dead_dir, f"task-{task_id}.json")
+        tmp = report_path + f".tmp-{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, sort_keys=True)
+        os.replace(tmp, report_path)
+        _QUARANTINED.inc(reason=reason)
+        return report
+
+    def dead_letters(self) -> list[dict]:
+        """Every quarantine report currently in the dead-letter directory."""
+        reports = []
+        for name in sorted(os.listdir(self.dead_dir)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.dead_dir, name),
+                          encoding="utf-8") as handle:
+                    reports.append(json.load(handle))
+            except (OSError, json.JSONDecodeError):  # racing writer
+                continue
+        return reports
+
+    def _clear_dead(self, task_id: str) -> None:
+        """Drop a quarantined task's dead-letter files (it is being retried)."""
+        for name in (f"task-{task_id}.json", self._filename(task_id)):
+            try:
+                os.remove(os.path.join(self.dead_dir, name))
+            except FileNotFoundError:
+                pass
+
+    def _dead_report(self, task_id: str) -> dict | None:
+        path = os.path.join(self.dead_dir, f"task-{task_id}.json")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
 
     # ------------------------------------------------------------------
     # Coordinator side
@@ -126,62 +277,177 @@ class SpoolQueue:
         return ids
 
     def collect(self, task_ids, *, timeout: float | None = None,
-                poll: float = 0.05, merge_metrics: bool = True
-                ) -> list[TaskResult]:
-        """Block until every task id has a result (or ``timeout`` elapses).
+                poll: float = 0.05, merge_metrics: bool = True,
+                tasks: dict[str, WorkTask] | None = None,
+                reclaim: bool = True) -> list[TaskResult]:
+        """Block until every task id has a usable result.
+
+        The coordinator's half of the recovery loop:
+
+        * every poll cycle also reclaims expired leases (``reclaim=True``),
+          so a dead worker's task re-enters ``tasks/`` even when no other
+          worker is idle-polling;
+        * a **corrupt result** is quarantined and — when ``tasks`` maps the
+          id back to its :class:`WorkTask` and attempts remain — the task is
+          resubmitted for another run;
+        * a **worker-error result** is retried the same way; once the
+          attempt budget is exhausted (or without a ``tasks`` map) the task
+          is quarantined and :class:`~repro.errors.TaskPoisonedError` raised;
+        * on ``timeout`` raises :class:`~repro.errors.SpoolTimeoutError`
+          carrying every already-collected :class:`TaskResult` (partial
+          progress is reported, not discarded).
 
         Merges each result's metrics snapshot into the process
         :data:`~repro.obs.metrics.REGISTRY` unless ``merge_metrics=False``.
-        Raises :class:`ReproError` on timeout or on a task that failed
-        worker-side (its ``error`` string is included).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         outstanding = list(task_ids)
         results: dict[str, TaskResult] = {}
+        retries: dict[str, int] = {}
+
+        def _attempts(task_id: str) -> int:
+            base = tasks[task_id].attempts if tasks and task_id in tasks else 0
+            return base + retries.get(task_id, 0)
+
+        def _retry_or_poison(task_id: str, reason: str, detail: str,
+                             payload_path: str | None,
+                             prior: int | None = None) -> None:
+            base = _attempts(task_id) if prior is None else prior
+            attempts = base + 1  # counting the attempt that failed
+            if tasks is not None and task_id in tasks \
+                    and attempts < self.max_attempts:
+                retries[task_id] = attempts - tasks[task_id].attempts
+                if payload_path is not None:
+                    try:
+                        os.remove(payload_path)
+                    except FileNotFoundError:
+                        pass
+                self.submit(replace(tasks[task_id], attempts=attempts))
+                _REQUEUED.inc(reason=reason)
+                return
+            report = self.quarantine(task_id, reason, detail=detail,
+                                     payload_path=payload_path,
+                                     attempts=attempts)
+            raise TaskPoisonedError(
+                f"spool task {task_id} poisoned after {attempts} attempt(s) "
+                f"({reason}): {detail}", task_id=task_id, report=report)
+
         while outstanding:
             still_waiting = []
             for task_id in outstanding:
                 path = os.path.join(self.results_dir, self._filename(task_id))
                 try:
-                    with open(path, "rb") as handle:
-                        result: TaskResult = pickle.load(handle)
+                    result: TaskResult = self._read_payload(
+                        path, f"result {task_id}")
                 except FileNotFoundError:
+                    report = self._dead_report(task_id)
+                    if report is not None:
+                        reason = report.get("reason") or "poisoned"
+                        if reason == "lease-expired":
+                            # The task repeatedly killed its workers; do not
+                            # resurrect it past the lease attempt budget.
+                            raise TaskPoisonedError(
+                                f"spool task {task_id} poisoned after "
+                                f"{report.get('attempts', '?')} attempt(s) "
+                                f"({reason}): {report.get('detail')}",
+                                task_id=task_id, report=report)
+                        prior = max(_attempts(task_id),
+                                    int(report.get("attempts") or 0))
+                        self._clear_dead(task_id)
+                        _retry_or_poison(task_id, reason,
+                                         str(report.get("detail")), None,
+                                         prior=prior)
+                    still_waiting.append(task_id)
+                    continue
+                except SpoolCorruptionError as exc:
+                    _retry_or_poison(task_id, "corrupt-result", str(exc), path)
+                    still_waiting.append(task_id)
+                    continue
+                if result.error is not None:
+                    _retry_or_poison(
+                        task_id, "worker-error",
+                        f"worker {result.worker or '?'}: {result.error}", path)
                     still_waiting.append(task_id)
                     continue
                 results[task_id] = result
             outstanding = still_waiting
             if not outstanding:
                 break
+            if reclaim:
+                self.reclaim_expired()
             if deadline is not None and time.monotonic() > deadline:
-                raise ReproError(
+                raise SpoolTimeoutError(
                     f"spool collect timed out with {len(outstanding)} of "
-                    f"{len(results) + len(outstanding)} tasks outstanding")
+                    f"{len(results) + len(outstanding)} tasks outstanding "
+                    f"({len(results)} completed results attached)",
+                    completed=list(results.values()),
+                    outstanding=list(outstanding))
             time.sleep(poll)
-        failed = [r for r in results.values() if r.error is not None]
-        if failed:
-            worst = failed[0]
-            raise ReproError(f"spool task {worst.task_id} failed on worker "
-                             f"{worst.worker or '?'}: {worst.error}")
         if merge_metrics:
             for result in results.values():
                 if result.metrics:
                     REGISTRY.merge(result.metrics)
         return [results[task_id] for task_id in task_ids]
 
-    def requeue_stale(self, older_than: float = 300.0) -> int:
-        """Move long-claimed tasks (dead workers) back into ``tasks/``."""
-        moved = 0
+    # ------------------------------------------------------------------
+    # Lease recovery (any process may run this)
+    # ------------------------------------------------------------------
+    def reclaim_expired(self, older_than: float | None = None) -> dict:
+        """Recover claimed tasks whose lease expired (dead workers).
+
+        Returns ``{"requeued": n, "quarantined": n, "completed": n}`` —
+        completed means the worker published its result but died before
+        retiring the claim, so only the stale claim file is dropped.
+        Race-safe: each candidate is first atomically renamed to a private
+        name, so concurrent reclaimers never double-process one task.
+        """
+        age_limit = self.lease_seconds if older_than is None else older_than
+        moved = {"requeued": 0, "quarantined": 0, "completed": 0}
         now = time.time()
-        for name in os.listdir(self.claimed_dir):
+        for name in sorted(os.listdir(self.claimed_dir)):
+            if not name.endswith(".pkl"):
+                continue
             path = os.path.join(self.claimed_dir, name)
             try:
-                if now - os.path.getmtime(path) < older_than:
+                if now - os.path.getmtime(path) < age_limit:
                     continue
-                os.replace(path, os.path.join(self.tasks_dir, name))
-                moved += 1
-            except FileNotFoundError:  # another coordinator raced us
+            except FileNotFoundError:
                 continue
+            private = path + f".reclaim-{uuid.uuid4().hex[:8]}"
+            try:
+                os.replace(path, private)
+            except FileNotFoundError:  # another reclaimer (or renewal race) won
+                continue
+            _LEASES_EXPIRED.inc()
+            task_id = name[len("task-"):-len(".pkl")]
+            if os.path.exists(os.path.join(self.results_dir, name)):
+                os.remove(private)  # finished, just never retired the claim
+                moved["completed"] += 1
+                continue
+            try:
+                task: WorkTask = self._read_payload(private, f"task {task_id}")
+            except SpoolCorruptionError as exc:
+                self.quarantine(task_id, "corrupt-task", detail=str(exc),
+                                payload_path=private)
+                moved["quarantined"] += 1
+                continue
+            attempts = task.attempts + 1
+            if attempts >= self.max_attempts:
+                self.quarantine(task_id, "lease-expired", payload_path=private,
+                                detail=f"lease expired {attempts} time(s)",
+                                attempts=attempts)
+                moved["quarantined"] += 1
+                continue
+            self._write_atomic(self.tasks_dir, task_id,
+                               replace(task, attempts=attempts))
+            os.remove(private)
+            _REQUEUED.inc(reason="lease-expired")
+            moved["requeued"] += 1
         return moved
+
+    def requeue_stale(self, older_than: float | None = None) -> int:
+        """Deprecated spelling of :meth:`reclaim_expired`; returns requeues."""
+        return self.reclaim_expired(older_than=older_than)["requeued"]
 
     def stats(self) -> dict:
         """Point-in-time queue depths."""
@@ -189,13 +455,21 @@ class SpoolQueue:
                                 if name.endswith(".pkl")])
                 for directory, path in (("tasks", self.tasks_dir),
                                         ("claimed", self.claimed_dir),
-                                        ("results", self.results_dir))}
+                                        ("results", self.results_dir),
+                                        ("dead", self.dead_dir))}
 
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
     def claim(self, worker_id: str) -> WorkTask | None:
-        """Atomically claim one pending task (None when the spool is idle)."""
+        """Atomically claim one pending task (None when the spool is idle).
+
+        Claiming starts the lease: the claimed file's mtime is stamped now
+        and must be renewed via :meth:`renew_lease` before ``lease_seconds``
+        elapse.  A corrupt task payload is quarantined with a report and the
+        scan continues — bad bytes never crash a worker.
+        """
+        fault_point("spool.claim")
         for name in sorted(os.listdir(self.tasks_dir)):
             if not name.endswith(".pkl"):
                 continue
@@ -205,9 +479,25 @@ class SpoolQueue:
                 os.replace(source, target)
             except FileNotFoundError:
                 continue  # another worker won this one
-            with open(target, "rb") as handle:
-                return pickle.load(handle)
+            os.utime(target)  # lease starts now
+            task_id = name[len("task-"):-len(".pkl")]
+            try:
+                return self._read_payload(target, f"task {task_id}")
+            except SpoolCorruptionError as exc:
+                self.quarantine(task_id, "corrupt-task", detail=str(exc),
+                                payload_path=target)
+                continue
         return None
+
+    def renew_lease(self, task_id: str) -> bool:
+        """Refresh a claimed task's lease; False when the claim is gone
+        (reclaimed by another process — the worker should drop the task)."""
+        try:
+            os.utime(os.path.join(self.claimed_dir, self._filename(task_id)))
+        except FileNotFoundError:
+            return False
+        _HEARTBEATS.inc()
+        return True
 
     def complete(self, task: WorkTask, result: TaskResult) -> None:
         """Publish one result and retire the claimed task file."""
@@ -218,13 +508,50 @@ class SpoolQueue:
             pass
 
 
-class SpoolWorker:
-    """The ``repro worker`` loop: claim, enumerate, publish, repeat."""
+class _LeaseHeartbeat:
+    """A daemon thread renewing one claimed task's lease while it runs."""
 
-    def __init__(self, spool: SpoolQueue | str,
-                 worker_id: str | None = None) -> None:
+    def __init__(self, spool: SpoolQueue, task_id: str, interval: float) -> None:
+        self._spool = spool
+        self._task_id = task_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self.lost = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"lease-{task_id}")
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                fault_point("spool.heartbeat")
+                if not self._spool.renew_lease(self._task_id):
+                    self.lost.set()
+                    return
+            except Exception:  # noqa: BLE001 - a dead heartbeat = expired lease
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class SpoolWorker:
+    """The ``repro worker`` loop: claim, enumerate, publish, repeat.
+
+    While a task runs, a background :class:`_LeaseHeartbeat` renews its lease
+    every ``heartbeat`` seconds (default: a third of the spool's lease), so a
+    *live* worker never loses a long task, while a killed worker's lease
+    expires within ``lease_seconds``.  Idle workers opportunistically run
+    :meth:`SpoolQueue.reclaim_expired` — recovery needs no dedicated daemon.
+    """
+
+    def __init__(self, spool: SpoolQueue | str, worker_id: str | None = None,
+                 *, heartbeat: float | None = None) -> None:
         self.spool = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.heartbeat = (heartbeat if heartbeat is not None
+                          else max(0.05, self.spool.lease_seconds / 3.0))
         self.processed = 0
 
     def run_once(self) -> bool:
@@ -233,21 +560,34 @@ class SpoolWorker:
         if task is None:
             return False
         start = time.perf_counter()
+        beat = _LeaseHeartbeat(self.spool, task.task_id, self.heartbeat)
         try:
-            cliques, metrics = run_compact_subproblem(
-                task.subproblem, task.gamma, task.theta,
-                branching=task.branching, kernel=task.kernel)
-            result = TaskResult(task_id=task.task_id, cliques=tuple(cliques),
-                                metrics=metrics,
-                                seconds=time.perf_counter() - start,
-                                worker=self.worker_id)
-            _TASKS.inc(outcome="ok")
-        except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
-            result = TaskResult(task_id=task.task_id,
-                                seconds=time.perf_counter() - start,
-                                worker=self.worker_id,
-                                error=f"{type(exc).__name__}: {exc}")
-            _TASKS.inc(outcome="error")
+            fault_point("worker.task")
+            try:
+                fault_point("worker.enumerate")
+                cliques, metrics = run_compact_subproblem(
+                    task.subproblem, task.gamma, task.theta,
+                    branching=task.branching, kernel=task.kernel)
+                result = TaskResult(task_id=task.task_id, cliques=tuple(cliques),
+                                    metrics=metrics,
+                                    seconds=time.perf_counter() - start,
+                                    worker=self.worker_id,
+                                    attempts=task.attempts)
+                _TASKS.inc(outcome="ok")
+            except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
+                result = TaskResult(task_id=task.task_id,
+                                    seconds=time.perf_counter() - start,
+                                    worker=self.worker_id,
+                                    error=f"{type(exc).__name__}: {exc}",
+                                    attempts=task.attempts)
+                _TASKS.inc(outcome="error")
+        finally:
+            beat.stop()
+        if beat.lost.is_set():
+            # The lease was reclaimed under us (e.g. a long stall): another
+            # worker owns the task now; publishing a duplicate result is
+            # harmless (identical content) but the claim file is not ours.
+            _TASKS.inc(outcome="lease-lost")
         self.spool.complete(task, result)
         self.processed += 1
         return True
@@ -271,6 +611,7 @@ class SpoolWorker:
                 if progress is not None:
                     progress(self)
                 continue
+            self.spool.reclaim_expired()
             if (idle_timeout is not None
                     and time.monotonic() - idle_since >= idle_timeout):
                 break
@@ -280,8 +621,9 @@ class SpoolWorker:
 
 def spool_enumerate(graph: Graph, gamma: float, theta: int, spool: SpoolQueue | str,
                     *, branching: str = "hybrid", kernel: str = "ledger",
-                    inline_workers: int = 0, timeout: float | None = None
-                    ) -> list[frozenset]:
+                    inline_workers: int = 0, timeout: float | None = None,
+                    lease_seconds: float | None = None,
+                    max_attempts: int | None = None) -> list[frozenset]:
     """Full MQCE through a spool queue: submit, (optionally) work, collect.
 
     The coordinator runs DCFastQC's global preprocessing locally, spools every
@@ -291,27 +633,45 @@ def spool_enumerate(graph: Graph, gamma: float, theta: int, spool: SpoolQueue | 
     ``inline_workers > 0`` that many :class:`SpoolWorker` loops run in local
     threads (tests, single-host convenience); with ``inline_workers=0`` the
     call blocks until external ``repro worker`` processes drain the spool.
-    """
-    import threading
 
+    The collect loop runs with full recovery enabled: expired leases are
+    reclaimed, failed or corrupt results are resubmitted up to the spool's
+    attempt budget, and the answer is byte-identical to the sequential
+    pipeline's under any interleaving of worker deaths.
+    """
     validate_parameters(gamma, theta)
-    spool = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
+    if isinstance(spool, str):
+        spool = SpoolQueue(
+            spool,
+            **{key: value for key, value in
+               (("lease_seconds", lease_seconds), ("max_attempts", max_attempts))
+               if value is not None})
     driver = DCFastQC(graph, gamma, theta, branching=branching, kernel=kernel)
     subproblems = tuple(driver.iter_compact_subproblems())
     if not subproblems:
         return []
     ids = spool.submit_subproblems(subproblems, gamma, theta,
                                    branching=branching, kernel=kernel)
+    tasks: dict[str, WorkTask] = {}
+    for task_id, subproblem in zip(ids, subproblems):
+        tasks[task_id] = WorkTask(task_id=task_id, subproblem=subproblem,
+                                  gamma=gamma, theta=theta,
+                                  branching=branching, kernel=kernel)
     threads = []
     for _ in range(max(0, inline_workers)):
         worker = SpoolWorker(spool)
-        thread = threading.Thread(
-            target=worker.run, kwargs={"max_tasks": None, "idle_timeout": 0.5},
-            daemon=True)
+
+        def _drain(worker=worker) -> None:
+            try:
+                worker.run(max_tasks=None, idle_timeout=0.5)
+            except ReproError:  # injected faults kill the thread, not the run
+                pass
+
+        thread = threading.Thread(target=_drain, daemon=True)
         thread.start()
         threads.append(thread)
     try:
-        results = spool.collect(ids, timeout=timeout)
+        results = spool.collect(ids, timeout=timeout, tasks=tasks)
     finally:
         for thread in threads:
             thread.join(timeout=5.0)

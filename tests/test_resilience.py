@@ -1,0 +1,769 @@
+"""Fault-tolerance tests: injection, leases, retry/resume, degradation.
+
+The acceptance criteria live here:
+
+* SIGKILLing a worker subprocess mid-task leads to lease expiry, atomic
+  reclaim by a surviving worker, and a final answer parity-identical to the
+  sequential pipeline — with an empty dead-letter directory;
+* a fault matrix over the spool injection sites (claim, write, heartbeat,
+  task, enumerate, subproblem) always ends in either a clean retry or a
+  typed error — never a corrupted or short answer;
+* a client stream interrupted by injected connection drops resumes from the
+  last acked batch and reassembles a byte-identical frame sequence;
+* repeated enumeration failures open the per-``(graph, spec)`` circuit
+  (typed :class:`CircuitOpenError`), and a half-open probe closes it again.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import Graph
+from repro.errors import (CircuitOpenError, ConnectionLostError,
+                          DeadlineExceededError, FaultInjectedError,
+                          ReproError, SpoolCorruptionError, SpoolTimeoutError,
+                          TaskPoisonedError)
+from repro.obs.metrics import REGISTRY
+from repro.resilience import (BreakerBoard, CircuitBreaker, Deadline,
+                              FaultPlan, RetryPolicy, call_with_retry,
+                              fault_point, install_plan, parse_plan,
+                              reset_plan)
+from repro.serve import (ReproService, ServeClient, SpoolQueue, SpoolWorker,
+                         WorkTask, fetch_http, spool_enumerate,
+                         start_in_thread)
+from repro.serve.protocol import (encode_frame, error_payload,
+                                  exception_from_payload, validate_request)
+from repro.serve.worker import _dump_payload, _load_payload
+
+_INJECTED = REGISTRY.counter("repro_faults_injected_total")
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    """Every test starts fault-free and leaves no plan behind."""
+    install_plan(None)
+    yield
+    reset_plan()
+
+
+def _random_graph(seed: int = 11, vertices: int = 36, edges: int = 260) -> Graph:
+    rng = random.Random(seed)
+    graph = Graph()
+    while graph.edge_count < edges:
+        u, v = rng.randrange(vertices), rng.randrange(vertices)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return _random_graph()
+
+
+def _sequential_answer(graph, gamma, theta):
+    from repro.core.dcfastqc import DCFastQC
+    from repro.settrie.filter import filter_non_maximal
+
+    return set(filter_non_maximal(DCFastQC(graph, gamma, theta).enumerate(),
+                                  theta=theta))
+
+
+# ----------------------------------------------------------------------
+# Fault plan mechanics
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_parse_plan_round_trip(self):
+        plan = parse_plan("spool.claim:raise:after=2;"
+                          "serve.write_frame:drop:times=3;"
+                          "worker.task:delay=0.25;"
+                          "engine.subproblem:raise:p=0.5:seed=7:times=0")
+        rules = {rule.site: rule for rule in plan.rules()}
+        assert rules["spool.claim"].after == 2
+        assert rules["serve.write_frame"].times == 3
+        assert rules["worker.task"].action == "delay"
+        assert rules["worker.task"].delay == 0.25
+        assert rules["engine.subproblem"].p == 0.5
+
+    @pytest.mark.parametrize("text", ["nonsense", "site:explode",
+                                      "site:raise:after=0", "site:raise:p=2",
+                                      "site:raise:wat=1"])
+    def test_malformed_plans_are_rejected(self, text):
+        with pytest.raises(ReproError):
+            parse_plan(text)
+
+    def test_no_plan_is_a_no_op(self):
+        assert fault_point("spool.claim") is None
+
+    def test_after_and_times_schedule_hits(self):
+        install_plan(parse_plan("x:raise:after=2:times=2"))
+        assert fault_point("x") is None          # hit 1: before `after`
+        for _ in range(2):                        # hits 2-3 fire
+            with pytest.raises(FaultInjectedError) as info:
+                fault_point("x")
+            assert info.value.site == "x"
+        assert fault_point("x") is None          # budget exhausted
+
+    def test_truncate_and_drop_are_returned_not_raised(self):
+        install_plan(parse_plan("w:truncate:times=0;d:drop:times=0"))
+        assert fault_point("w") == "truncate"
+        assert fault_point("d") == "drop"
+
+    def test_delay_sleeps(self):
+        install_plan(parse_plan("z:delay=0.05"))
+        start = time.monotonic()
+        assert fault_point("z") is None
+        assert time.monotonic() - start >= 0.05
+
+    def test_probabilistic_rules_are_seeded_deterministic(self):
+        def fired_pattern():
+            plan = parse_plan("p:raise:p=0.5:seed=42:times=0")
+            install_plan(plan)
+            pattern = []
+            for _ in range(20):
+                try:
+                    fault_point("p")
+                    pattern.append(False)
+                except FaultInjectedError:
+                    pattern.append(True)
+            return pattern
+
+        first, second = fired_pattern(), fired_pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_fired_faults_are_counted(self):
+        before = _INJECTED.value(site="counted", action="raise")
+        install_plan(parse_plan("counted:raise"))
+        with pytest.raises(FaultInjectedError):
+            fault_point("counted")
+        assert _INJECTED.value(site="counted", action="raise") == before + 1
+        assert install_plan(None) is None
+
+    def test_env_var_arms_the_plan_after_reset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "envsite:raise")
+        reset_plan()
+        with pytest.raises(FaultInjectedError):
+            fault_point("envsite")
+        install_plan(None)  # detach from env for the rest of the test
+
+
+# ----------------------------------------------------------------------
+# Retry policy and deadlines
+# ----------------------------------------------------------------------
+class TestRetry:
+    def test_delays_are_deterministic_capped_and_decorrelated(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.1, max_delay=1.0,
+                             seed=3)
+        first, second = list(policy.delays()), list(policy.delays())
+        assert first == second
+        assert len(first) == 5
+        assert all(0.1 <= delay <= 1.0 for delay in first)
+
+    def test_call_with_retry_recovers_then_succeeds(self):
+        sleeps, attempts = [], []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionResetError("boom")
+            return "ok"
+
+        result = call_with_retry(
+            flaky, policy=RetryPolicy(max_attempts=4, seed=1),
+            retryable=(ConnectionResetError,), sleep=sleeps.append)
+        assert result == "ok"
+        assert len(attempts) == 3 and len(sleeps) == 2
+
+    def test_call_with_retry_exhausts_and_reraises(self):
+        def always():
+            raise ConnectionResetError("still down")
+
+        with pytest.raises(ConnectionResetError):
+            call_with_retry(always,
+                            policy=RetryPolicy(max_attempts=3, seed=1),
+                            retryable=(ConnectionResetError,),
+                            sleep=lambda _s: None)
+
+    def test_non_retryable_errors_pass_straight_through(self):
+        calls = []
+
+        def typed():
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            call_with_retry(typed, policy=RetryPolicy(max_attempts=5, seed=1),
+                            retryable=(ConnectionResetError,),
+                            sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_deadline_bounds_the_retry_loop(self):
+        clock = {"now": 0.0}
+        deadline = Deadline(1.0, clock=lambda: clock["now"])
+
+        def always():
+            clock["now"] += 0.6
+            raise ConnectionResetError("down")
+
+        with pytest.raises(ConnectionResetError):
+            call_with_retry(always,
+                            policy=RetryPolicy(max_attempts=10, seed=1),
+                            retryable=(ConnectionResetError,),
+                            deadline=deadline, sleep=lambda _s: None)
+        assert clock["now"] < 2.0  # far fewer than 10 attempts ran
+
+    def test_deadline_check_raises_typed_error(self):
+        clock = {"now": 0.0}
+        deadline = Deadline.after(0.5, clock=lambda: clock["now"])
+        deadline.check("warm-up")
+        clock["now"] = 1.0
+        assert deadline.expired() and deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError):
+            deadline.check("enumeration")
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_fails_fast(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                                 clock=lambda: clock["now"])
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.allow()
+        assert info.value.retry_after == pytest.approx(10.0)
+        assert breaker.state_name == "open"
+
+    def test_half_open_admits_one_probe_then_closes_on_success(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=lambda: clock["now"])
+        breaker.allow()
+        breaker.record_failure()
+        clock["now"] = 6.0
+        assert breaker.state_name == "half-open"
+        breaker.allow()                       # the probe
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()                   # concurrent arrival: fail fast
+        breaker.record_success()
+        assert breaker.state_name == "closed"
+        breaker.allow()
+
+    def test_probe_failure_reopens_for_a_full_timeout(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=lambda: clock["now"])
+        breaker.allow()
+        breaker.record_failure()
+        clock["now"] = 6.0
+        breaker.allow()
+        breaker.record_failure()              # probe failed
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock["now"] = 10.9                   # < 6.0 + 5.0
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+
+    def test_board_keys_breakers_independently(self):
+        board = BreakerBoard(failure_threshold=1, reset_timeout=30.0)
+        board.for_key(("g", "spec-a")).record_failure()
+        with pytest.raises(CircuitOpenError):
+            board.for_key(("g", "spec-a")).allow()
+        board.for_key(("g", "spec-b")).allow()  # untouched neighbour
+        assert len(board) == 2
+        assert any("spec-a" in key for key in board.stats())
+
+    def test_circuit_open_error_survives_the_wire(self):
+        err = CircuitOpenError("open", retry_after=1.5)
+        back = exception_from_payload(error_payload(err))
+        assert isinstance(back, CircuitOpenError)
+        assert back.retry_after == pytest.approx(1.5)
+
+
+# ----------------------------------------------------------------------
+# Spool payload integrity
+# ----------------------------------------------------------------------
+class TestSpoolChecksums:
+    def test_payload_round_trip(self):
+        payload = {"cliques": [frozenset({1, 2})], "n": 3}
+        assert _load_payload(_dump_payload(payload)) == payload
+
+    @pytest.mark.parametrize("mangle", [
+        lambda data: data[: len(data) // 2],         # truncated
+        lambda data: b"???" + data[3:],              # bad magic
+        lambda data: data[:-2] + b"xx",              # flipped payload bytes
+        lambda data: data[:2],                       # shorter than the header
+    ])
+    def test_corruption_is_detected(self, mangle):
+        data = _dump_payload({"k": list(range(100))})
+        with pytest.raises(SpoolCorruptionError):
+            _load_payload(mangle(data))
+
+    def test_corrupt_task_file_is_quarantined_not_fatal(self, tmp_path):
+        spool = SpoolQueue(str(tmp_path / "spool"))
+        with open(os.path.join(spool.tasks_dir, "task-junk.pkl"), "wb") as fh:
+            fh.write(b"not a payload at all")
+        assert spool.claim("w0") is None
+        reports = spool.dead_letters()
+        assert len(reports) == 1
+        assert reports[0]["task_id"] == "junk"
+        assert reports[0]["reason"] == "corrupt-task"
+        assert spool.stats()["dead"] == 1
+
+
+# ----------------------------------------------------------------------
+# Leases, attempts and quarantine
+# ----------------------------------------------------------------------
+class TestLeases:
+    def _one_task(self, graph, tmp_path, **spool_kwargs) -> tuple:
+        from repro.core.dcfastqc import DCFastQC
+
+        spool = SpoolQueue(str(tmp_path / "spool"), **spool_kwargs)
+        subproblem = next(iter(DCFastQC(graph, 0.9, 4)
+                               .iter_compact_subproblems()))
+        task = WorkTask(task_id="t0", subproblem=subproblem, gamma=0.9,
+                        theta=4)
+        spool.submit(task)
+        return spool, task
+
+    def test_renewed_lease_is_not_reclaimed(self, graph, tmp_path):
+        spool, _task = self._one_task(graph, tmp_path, lease_seconds=0.2)
+        assert spool.claim("w0") is not None
+        time.sleep(0.25)
+        assert spool.renew_lease("t0") is True
+        moved = spool.reclaim_expired()  # renewal just reset the clock
+        assert moved == {"requeued": 0, "quarantined": 0, "completed": 0}
+
+    def test_expired_lease_requeues_with_attempt_bump(self, graph, tmp_path):
+        spool, _task = self._one_task(graph, tmp_path, lease_seconds=0.1)
+        assert spool.claim("w0") is not None
+        time.sleep(0.15)
+        moved = spool.reclaim_expired()
+        assert moved["requeued"] == 1
+        reclaimed = spool.claim("w1")
+        assert reclaimed.task_id == "t0" and reclaimed.attempts == 1
+
+    def test_lease_expiry_past_budget_quarantines(self, graph, tmp_path):
+        spool, _task = self._one_task(graph, tmp_path, lease_seconds=0.05,
+                                      max_attempts=2)
+        for expected_attempts in (1,):
+            assert spool.claim("w0") is not None
+            time.sleep(0.1)
+            assert spool.reclaim_expired()["requeued"] == 1
+        assert spool.claim("w0").attempts == 1
+        time.sleep(0.1)
+        assert spool.reclaim_expired()["quarantined"] == 1
+        assert spool.stats() == {"tasks": 0, "claimed": 0, "results": 0,
+                                 "dead": 1}
+        with pytest.raises(TaskPoisonedError) as info:
+            spool.collect(["t0"], timeout=1.0)
+        assert info.value.task_id == "t0"
+        assert info.value.report["reason"] == "lease-expired"
+
+    def test_finished_but_unretired_claim_is_just_dropped(self, graph,
+                                                          tmp_path):
+        spool, task = self._one_task(graph, tmp_path, lease_seconds=0.05)
+        claimed = spool.claim("w0")
+        from repro.serve.worker import TaskResult
+
+        # Simulate a worker that published its result, then died before
+        # removing the claim: write the result directly, keep the claim.
+        spool._write_atomic(spool.results_dir, task.task_id,
+                            TaskResult(task_id=task.task_id, cliques=()))
+        assert claimed is not None
+        time.sleep(0.1)
+        assert spool.reclaim_expired()["completed"] == 1
+        assert spool.stats()["claimed"] == 0
+
+    def test_renew_lease_reports_a_stolen_claim(self, graph, tmp_path):
+        spool, _task = self._one_task(graph, tmp_path, lease_seconds=0.05)
+        assert spool.claim("w0") is not None
+        time.sleep(0.1)
+        assert spool.reclaim_expired()["requeued"] == 1
+        assert spool.renew_lease("t0") is False
+
+
+class TestCollect:
+    def test_timeout_carries_partial_progress(self, graph, tmp_path):
+        from repro.core.dcfastqc import DCFastQC
+
+        spool = SpoolQueue(str(tmp_path / "spool"))
+        subproblems = tuple(DCFastQC(graph, 0.85, 4)
+                            .iter_compact_subproblems())
+        assert len(subproblems) >= 2
+        ids = spool.submit_subproblems(subproblems, 0.85, 4)
+        SpoolWorker(spool).run(max_tasks=1, idle_timeout=1.0)
+        with pytest.raises(SpoolTimeoutError) as info:
+            spool.collect(ids, timeout=0.3)
+        assert len(info.value.completed) == 1
+        assert info.value.completed[0].error is None
+        done_id = info.value.completed[0].task_id
+        assert set(info.value.outstanding) == set(ids) - {done_id}
+        # Nothing thrown away: finishing the spool still converges.
+        SpoolWorker(spool).run(idle_timeout=0.5)
+        assert len(spool.collect(ids, timeout=10)) == len(ids)
+
+    def test_error_results_are_resubmitted_with_a_task_map(self, graph,
+                                                           tmp_path):
+        from repro.core.dcfastqc import DCFastQC
+
+        spool = SpoolQueue(str(tmp_path / "spool"), max_attempts=3)
+        subproblem = next(iter(DCFastQC(graph, 0.9, 4)
+                               .iter_compact_subproblems()))
+        # worker.enumerate raises once; the resubmitted attempt succeeds.
+        install_plan(parse_plan("worker.enumerate:raise:times=1"))
+        task = WorkTask(task_id="flaky", subproblem=subproblem, gamma=0.9,
+                        theta=4)
+        spool.submit(task)
+
+        import threading
+
+        worker = SpoolWorker(spool)
+        thread = threading.Thread(
+            target=lambda: worker.run(idle_timeout=2.0), daemon=True)
+        thread.start()
+        results = spool.collect(["flaky"], timeout=15,
+                                tasks={"flaky": task})
+        thread.join(timeout=10)
+        assert results[0].error is None
+        assert results[0].attempts == 1
+        assert spool.stats()["dead"] == 0
+
+    def test_error_results_poison_without_a_task_map(self, graph, tmp_path):
+        from repro.core.dcfastqc import DCFastQC
+
+        spool = SpoolQueue(str(tmp_path / "spool"))
+        subproblem = next(iter(DCFastQC(graph, 0.9, 4)
+                               .iter_compact_subproblems()))
+        spool.submit(WorkTask(task_id="bad", subproblem=subproblem,
+                              gamma=2.0, theta=4))  # invalid gamma: worker error
+        SpoolWorker(spool).run(max_tasks=1, idle_timeout=1.0)
+        with pytest.raises(TaskPoisonedError) as info:
+            spool.collect(["bad"], timeout=5)
+        assert info.value.task_id == "bad"
+        assert spool.dead_letters()[0]["reason"] == "worker-error"
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: a real SIGKILL mid-task
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_sigkilled_worker_recovers_to_sequential_parity(self, graph,
+                                                            tmp_path):
+        from repro.core.dcfastqc import DCFastQC
+        from repro.settrie.filter import filter_non_maximal
+
+        spool_dir = str(tmp_path / "spool")
+        spool = SpoolQueue(spool_dir, lease_seconds=0.5, max_attempts=5)
+        driver = DCFastQC(graph, 0.85, 4)
+        subproblems = tuple(driver.iter_compact_subproblems())
+        ids = spool.submit_subproblems(subproblems, 0.85, 4)
+        tasks = {task_id: WorkTask(task_id=task_id, subproblem=subproblem,
+                                   gamma=0.85, theta=4)
+                 for task_id, subproblem in zip(ids, subproblems)}
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")]))
+        # The victim claims its first task, then stalls inside it forever.
+        env["REPRO_FAULTS"] = "worker.task:delay=600"
+        victim = subprocess.Popen(
+            [sys.executable, "-c",
+             "from repro.cli import main; import sys; "
+             "sys.exit(main(['worker', '--spool', %r, "
+             "'--lease-seconds', '0.5']))" % spool_dir],
+            env=env, cwd=os.getcwd())
+        try:
+            deadline = time.monotonic() + 30
+            while not os.listdir(spool.claimed_dir):
+                assert time.monotonic() < deadline, "victim never claimed"
+                time.sleep(0.02)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=10)
+        finally:
+            if victim.poll() is None:  # pragma: no cover - cleanup on failure
+                victim.kill()
+                victim.wait(timeout=10)
+
+        # A surviving worker drains the spool; its idle loop reclaims the
+        # victim's expired lease and re-runs the orphaned task.
+        survivor = SpoolWorker(spool)
+        survivor.run(idle_timeout=1.5)
+        results = spool.collect(ids, timeout=30, tasks=tasks)
+
+        candidates: set = set()
+        for result in results:
+            candidates.update(result.cliques)
+        got = set(filter_non_maximal(
+            sorted(candidates, key=lambda h: (-len(h), sorted(map(str, h)))),
+            theta=4))
+        assert got == _sequential_answer(graph, 0.85, 4)
+        assert spool.dead_letters() == []
+        # The reclaimed task really did go through the lease machinery.
+        reclaimed = [r for r in results if r.attempts > 0]
+        assert reclaimed, "no task carried a bumped attempt count"
+
+
+# ----------------------------------------------------------------------
+# The fault matrix: spool_enumerate under every spool-side site
+# ----------------------------------------------------------------------
+class TestFaultMatrix:
+    @pytest.mark.parametrize("plan_text", [
+        "spool.claim:raise:times=1",
+        "spool.write:truncate:times=1",
+        "spool.heartbeat:raise:times=0",
+        "worker.task:raise:times=1",
+        "worker.enumerate:raise:times=2",
+        "engine.subproblem:raise:times=1",
+        ("spool.claim:raise:times=1;worker.enumerate:raise:times=1;"
+         "spool.write:truncate:after=2:times=1"),
+    ])
+    def test_spool_enumerate_survives_with_exact_parity(self, graph, tmp_path,
+                                                        plan_text):
+        install_plan(parse_plan(plan_text))
+        got = spool_enumerate(graph, 0.85, 4, str(tmp_path / "spool"),
+                              inline_workers=2, timeout=60,
+                              lease_seconds=0.25, max_attempts=5)
+        install_plan(None)
+        assert set(got) == _sequential_answer(graph, 0.85, 4)
+
+    def test_a_truly_poisoned_task_surfaces_typed_not_corrupt(self, graph,
+                                                              tmp_path):
+        # Every attempt fails: the budget runs out and the typed error
+        # surfaces instead of a wrong (short) answer.
+        install_plan(parse_plan("worker.enumerate:raise:times=0"))
+        with pytest.raises(TaskPoisonedError):
+            spool_enumerate(graph, 0.9, 4, str(tmp_path / "spool"),
+                            inline_workers=2, timeout=60,
+                            lease_seconds=0.25, max_attempts=2)
+
+
+# ----------------------------------------------------------------------
+# Client retry + stream resume against a live service
+# ----------------------------------------------------------------------
+SPEC = {"gamma": 0.85, "theta": 4}
+
+
+@pytest.fixture
+def service(graph):
+    service = ReproService(max_concurrent=2, allow_shutdown=True,
+                           circuit_threshold=2, circuit_reset=0.3)
+    service.add_graph("demo", graph)
+    with start_in_thread(service) as handle:
+        yield handle
+
+
+class TestClientResilience:
+    def test_dead_socket_is_closed_and_reconnects(self, service):
+        client = ServeClient(port=service.port)
+        try:
+            assert client.ping()
+            # Kill the next frame write server-side: abrupt RST mid-request.
+            install_plan(parse_plan("serve.write_frame:drop:times=1"))
+            with pytest.raises((ConnectionLostError, ConnectionError)):
+                client.ping()
+            install_plan(None)
+            # Satellite fix: the dead socket is gone, not left bound.
+            assert not client.connected
+            assert client.ping()  # transparently redialled
+            assert client.connected
+        finally:
+            client.close()
+
+    def test_connect_fault_surfaces_then_recovers(self, service):
+        install_plan(parse_plan("client.connect:raise:times=1"))
+        with pytest.raises(FaultInjectedError):
+            ServeClient(port=service.port)
+        with ServeClient(port=service.port) as client:
+            assert client.ping()
+
+    def test_resumed_stream_is_byte_identical(self, service):
+        with ServeClient(port=service.port) as client:
+            list(client.query_stream(SPEC, batch=1))  # warm the cache
+            baseline = list(client.query_stream(SPEC, batch=1))
+        batches = [frame for frame in baseline if frame["type"] == "batch"]
+        assert len(batches) >= 3, "need a multi-batch stream to interrupt"
+        # Every cache replay of the same key shares one stream token.
+        assert {f["stream"] for f in batches} == {batches[0]["stream"]}
+
+        with ServeClient(port=service.port) as client:
+            install_plan(parse_plan("serve.write_frame:drop:after=3:times=1"))
+            received = []
+            with pytest.raises((ConnectionLostError, ConnectionError)):
+                for frame in client.query_stream(SPEC, batch=1):
+                    if frame["type"] == "batch":
+                        received.append(frame)
+            install_plan(None)
+            assert 0 < len(received) < len(batches)
+            resumed = [frame
+                       for frame in client.query_stream(
+                           SPEC, batch=1, resume_from=len(received),
+                           resume_stream=received[-1]["stream"])
+                       if frame["type"] == "batch"]
+        stitched = received + resumed
+        assert [f["seq"] for f in stitched] == list(range(len(batches)))
+        assert b"".join(map(encode_frame, stitched)) \
+            == b"".join(map(encode_frame, batches))
+
+    def test_resume_restarts_when_stream_identity_changes(self, service,
+                                                          graph):
+        # A first attempt riding a *live* enumeration (unique stream token)
+        # is interrupted; the sole subscriber leaving cancels the flight, so
+        # nothing is cached and the retry leads a fresh live flight with a
+        # *different* token.  The server must refuse the stale resume offset
+        # (batch order is not comparable across live streams) and restart
+        # from batch 0; the client must discard the superseded partial
+        # batches — the final list holds each clique exactly once.
+        spec = {"gamma": 0.8, "theta": 3}
+        install_plan(parse_plan("serve.write_frame:drop:after=2:times=1"))
+        with ServeClient(port=service.port) as client:
+            got, done = client.query(
+                spec, batch=1,
+                retry=RetryPolicy(max_attempts=5, base_delay=0.01,
+                                  max_delay=0.05, seed=3))
+        install_plan(None)
+        expected = _sequential_answer(graph, 0.8, 3)
+        assert set(got) == expected
+        assert len(got) == len(expected), "restart left duplicate batches"
+        assert done["type"] == "done"
+
+    def test_query_retries_to_the_full_answer_under_drops(self, service,
+                                                          graph):
+        with ServeClient(port=service.port) as client:
+            expected, _ = client.query(SPEC)
+        # Two separate connection drops; the retrying client stitches the
+        # stream back together from the resume point each time.
+        install_plan(parse_plan("serve.write_frame:drop:after=2:times=1;"
+                                "serve.write_frame:drop:after=5:times=1"))
+        with ServeClient(port=service.port) as client:
+            got, done = client.query(
+                SPEC, batch=1,
+                retry=RetryPolicy(max_attempts=5, base_delay=0.01,
+                                  max_delay=0.05, seed=7))
+        install_plan(None)
+        assert sorted(map(sorted, got)) == sorted(map(sorted, expected))
+        assert done["type"] == "done"
+        assert set(got) == _sequential_answer(graph, 0.85, 4)
+
+    def test_retry_metric_counts_server_side(self, service):
+        install_plan(parse_plan("serve.write_frame:drop:after=2:times=1"))
+        with ServeClient(port=service.port) as client:
+            client.query(SPEC, batch=1,
+                         retry=RetryPolicy(max_attempts=4, base_delay=0.01,
+                                           max_delay=0.02, seed=1))
+        install_plan(None)
+        status, body = fetch_http("/metrics", port=service.port)
+        assert status == 200
+        assert 'repro_serve_retries_total{kind="resume"}' in body
+        assert "repro_faults_injected_total" in body
+
+    def test_deadline_clamps_the_server_side_budget(self, service):
+        with ServeClient(port=service.port) as client:
+            _cliques, done = client.query(SPEC, deadline=30.0)
+        assert done["type"] == "done" and done["finished"]
+
+    def test_deadline_is_validated_on_the_wire(self):
+        with pytest.raises(ReproError):
+            validate_request({"op": "query", "spec": {}, "deadline": -1})
+        with pytest.raises(ReproError):
+            validate_request({"op": "query", "spec": {}, "resume_from": -2})
+        with pytest.raises(ReproError):
+            validate_request({"op": "query", "spec": {}, "attempt": "x"})
+
+
+class TestServiceDegradation:
+    def test_circuit_opens_then_half_open_probe_recovers(self, service):
+        install_plan(parse_plan("serve.enumerate:raise:times=0"))
+        with ServeClient(port=service.port) as client:
+            for _ in range(2):  # circuit_threshold=2
+                with pytest.raises(FaultInjectedError):
+                    client.query(SPEC)
+            with pytest.raises(CircuitOpenError) as info:
+                client.query(SPEC)
+            assert info.value.retry_after is not None
+            install_plan(None)
+            time.sleep(0.35)  # past circuit_reset: half-open
+            cliques, done = client.query(SPEC)  # the probe, succeeds
+            assert done["finished"]
+            cliques2, _ = client.query(SPEC)
+            assert sorted(map(sorted, cliques2)) == sorted(map(sorted, cliques))
+            stats = client.stats()
+            assert stats["circuits"] == {}  # closed circuits are not reported
+
+    def test_open_circuit_is_visible_in_stats_and_metrics(self, service):
+        install_plan(parse_plan("serve.enumerate:raise:times=0"))
+        with ServeClient(port=service.port) as client:
+            for _ in range(2):
+                with pytest.raises(FaultInjectedError):
+                    client.query({"gamma": 0.9, "theta": 5})
+            stats = client.stats()
+        install_plan(None)
+        assert any("open" == entry["state"]
+                   for entry in stats["circuits"].values())
+        status, body = fetch_http("/metrics", port=service.port)
+        assert status == 200
+        assert 'repro_serve_circuit_state{graph="demo"} 2' in body
+
+    def test_overload_does_not_trip_the_breaker(self, graph, monkeypatch):
+        # Shedding is back-pressure, not evidence the query is poisoned:
+        # with circuit_threshold=1 a single *real* failure would open the
+        # breaker, so a shed followed by a clean success proves overload
+        # leaves it untouched.
+        from repro.errors import ServiceOverloadedError
+
+        service = ReproService(max_concurrent=2, circuit_threshold=1,
+                               circuit_reset=30.0)
+        service.add_graph("demo", graph)
+        host = service.hosts["demo"]
+        real_open = host.open_stream
+        calls = {"n": 0}
+
+        def shed_once(spec, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ServiceOverloadedError("synthetic shed",
+                                             running=2, queued=0)
+            return real_open(spec, **kwargs)
+
+        monkeypatch.setattr(host, "open_stream", shed_once)
+        with start_in_thread(service):
+            with ServeClient(port=service.port) as client:
+                with pytest.raises(ServiceOverloadedError):
+                    list(client.query_stream(SPEC))
+                cliques, done = client.query(SPEC)
+        assert done["type"] == "done"
+        assert set(cliques) == _sequential_answer(graph, SPEC["gamma"],
+                                                  SPEC["theta"])
+        assert calls["n"] == 2
+        assert all(b["state"] != "open"
+                   for b in service.breakers.stats().values())
+
+
+class TestAdmissionDeadline:
+    def test_apply_budgets_clamps_to_the_deadline(self):
+        from repro.api.spec import QuerySpec
+        from repro.serve.admission import AdmissionController
+
+        controller = AdmissionController(default_time_limit=60.0,
+                                         max_time_limit=120.0)
+        spec = QuerySpec(gamma=0.9, theta=3)
+        assert controller.apply_budgets(spec).time_limit == 60.0
+        assert controller.apply_budgets(spec, deadline=5.0).time_limit == 5.0
+        capped = controller.apply_budgets(
+            QuerySpec(gamma=0.9, theta=3, time_limit=500.0), deadline=90.0)
+        assert capped.time_limit == 90.0
+        loose = controller.apply_budgets(
+            QuerySpec(gamma=0.9, theta=3, time_limit=2.0), deadline=90.0)
+        assert loose.time_limit == 2.0

@@ -411,7 +411,8 @@ class TestWorkers:
         second = spool.claim("w2")
         assert first is not None and first.task_id == "only"
         assert second is None
-        assert spool.stats() == {"tasks": 0, "claimed": 1, "results": 0}
+        assert spool.stats() == {"tasks": 0, "claimed": 1, "results": 0,
+                                 "dead": 0}
 
     def test_two_workers_split_the_spool_without_duplication(self, graph, tmp_path):
         from repro.core.dcfastqc import DCFastQC
