@@ -18,7 +18,19 @@ trajectory record to ``BENCH_core.json`` at the repository root:
   generated power-law edge list (10^5 vertices full, 2*10^4 quick), each in
   its own subprocess so peak RSS isolates one representation; the recorded
   ``speedup`` is the dict-over-CSR peak-RSS ratio and the row includes one
-  budgeted enumerate query per backend.
+  budgeted enumerate query per backend;
+* ``parallel`` — shard vs work-stealing branch parallelism at 4 workers on a
+  planted-community graph whose one dominant subproblem serializes shard mode
+  (10^5 vertices full, 2*10^4 quick), plus a steal-overhead row on an
+  un-skewed multi-community graph.  The recorded ``speedup`` of the skewed
+  row is the machine-independent *balance* speedup — largest subproblem's
+  branch count over the busiest branch-parallel worker's branch count, i.e.
+  the critical-path ratio — so the number is comparable across hosts with
+  different core counts (wall-clock ratios are recorded next to it, flagged
+  ``single_core`` when the host cannot physically show parallel wall-clock
+  wins).  Both modes are parity-checked against the sequential ledger kernel
+  and the row asserts the planner auto-selects the right mode from the
+  observed branch histogram.
 
 Committing the file after a perf-relevant change gives the repo a recorded
 perf trajectory that later PRs can regress against — one file, every
@@ -67,7 +79,7 @@ from repro.engine import MQCEEngine, PreparedGraph                # noqa: E402
 from repro.graph import preferential_attachment_edges             # noqa: E402
 
 SUITES = ("core", "quickplus", "engine-cache", "dynamic-updates",
-          "large-graph")
+          "large-graph", "parallel")
 
 #: Core suite: (dataset, gamma, theta) chosen so enumeration — not
 #: preprocessing — dominates (hundreds to thousands of branches each).
@@ -117,6 +129,24 @@ LARGE_GRAPH_QUICK = (("powerlaw-20k", 20_000, 3, 0.9, 4, 120.0),)
 #: Seed for the generated large-graph edge lists (fixed so the recorded
 #: trajectory rows are comparable across commits).
 LARGE_GRAPH_SEED = 13
+
+#: Parallel suite rows: (name, vertices, background_edges, community_sizes,
+#: seed, gamma, theta, kind).  "skewed" plants one dense community whose
+#: subtree holds ~60% of all branches (a descending chain of similar-size
+#: balls, so size proxies cannot see the skew — only branch counts can);
+#: "uniform" plants several equal communities so shard mode load-balances and
+#: the row measures pure steal-protocol overhead.
+PARALLEL_FULL = (
+    ("planted-skew-100k", 100_000, 200_000, (32,), 7, 0.9, 10, "skewed"),
+    ("planted-uniform-20k", 20_000, 40_000, (24,) * 16, 9, 0.9, 10, "uniform"),
+)
+PARALLEL_QUICK = (
+    ("planted-skew-20k", 20_000, 40_000, (32,), 7, 0.9, 10, "skewed"),
+    ("planted-uniform-20k", 20_000, 40_000, (24,) * 16, 9, 0.9, 10, "uniform"),
+)
+
+#: Worker count for the parallel suite (the ISSUE acceptance point).
+PARALLEL_WORKERS = 4
 
 #: Benchmark rows may rename a dataset to carry distinct parameters.
 DATASET_ALIASES = {"uk2002-heavy": "uk2002"}
@@ -420,6 +450,127 @@ def run_large_graph_suite(suite, repeat: int = 1, verbose: bool = True) -> dict:
     }
 
 
+def run_parallel_suite(suite, repeat: int = 1, verbose: bool = True) -> dict:
+    """Shard vs work-stealing branch parallelism on planted-community graphs.
+
+    Each row runs the same query three ways — sequential ledger DCFastQC
+    (the parity oracle), shard mode and branch mode, both at
+    :data:`PARALLEL_WORKERS` workers — and then replans the query from the
+    observed branch histogram to check the planner picks the mode the
+    measurements favour.  The skewed row's ``speedup`` is the critical-path
+    (balance) ratio: the largest subproblem's branch count, which lower-bounds
+    shard wall-clock, over the busiest branch-parallel worker's branch count.
+    Branch counts are machine-independent, so the recorded trajectory is
+    comparable across hosts; wall-clock ratios ride along, with
+    ``single_core`` flagging hosts where parallel wall-clock wins are
+    physically impossible.  The uniform row's ``speedup`` is the shard/branch
+    wall ratio (>= 0.9 means stealing costs under 10% on un-skewed input).
+    """
+    from repro.engine.planner import PlannerConfig, QueryPlanner
+    from repro.extensions.parallel import LAST_PARALLEL_RUN, ParallelDCFastQC
+    from repro.graph.generators import planted_quasi_clique_graph
+
+    def _canonical(results):
+        return sorted(sorted(map(str, clique)) for clique in results)
+
+    multicore = (os.cpu_count() or 1) >= PARALLEL_WORKERS
+    rows = {}
+    for name, vertices, background, communities, seed, gamma, theta, kind in suite:
+        graph = planted_quasi_clique_graph(vertices, background,
+                                           list(communities), gamma, seed=seed)
+        sequential_s, driver, sequential_results = _best_of(
+            repeat, lambda: DCFastQC(graph, gamma, theta, kernel="ledger"),
+            lambda algo: algo.enumerate())
+        branch_histogram = driver.statistics.subproblem_branches
+        expected = _canonical(sequential_results)
+
+        shard_s, _, shard_results = _best_of(
+            repeat, lambda: ParallelDCFastQC(graph, gamma, theta,
+                                             workers=PARALLEL_WORKERS,
+                                             mode="shard"),
+            lambda runner: runner.enumerate())
+        branch_s, branch_runner, branch_results = _best_of(
+            repeat, lambda: ParallelDCFastQC(graph, gamma, theta,
+                                             workers=PARALLEL_WORKERS,
+                                             mode="branch"),
+            lambda runner: runner.enumerate())
+        if _canonical(shard_results) != expected:
+            raise AssertionError(f"{name}: shard answers diverged from sequential")
+        if _canonical(branch_results) != expected:
+            raise AssertionError(f"{name}: branch answers diverged from sequential")
+
+        worker_branches = LAST_PARALLEL_RUN.get("worker_branches", {})
+        steals = branch_runner.statistics.steals
+        busiest = max(worker_branches.values()) if worker_branches else 0
+        balance_speedup = (round(branch_histogram.max / busiest, 2)
+                          if busiest else 0.0)
+        wall_speedup = round(shard_s / branch_s, 2) if branch_s else float("inf")
+
+        # Replan from the run's own evidence: the planner must pick branch
+        # mode on the skewed row and keep shard on the uniform one.
+        prepared = PreparedGraph(graph)
+        prepared.record_subproblem_histogram(
+            gamma, theta, driver.statistics.subproblem_sizes)
+        prepared.record_subproblem_histogram(
+            gamma, theta, branch_histogram, kind="branches")
+        plan = QueryPlanner(PlannerConfig(max_workers=PARALLEL_WORKERS)).plan(
+            prepared, gamma, theta, workers=PARALLEL_WORKERS)
+        expected_mode = "branch" if kind == "skewed" else "shard"
+        if plan.parallel_mode != expected_mode:
+            raise AssertionError(
+                f"{name}: planner picked {plan.parallel_mode!r} from the "
+                f"observed branch histogram, expected {expected_mode!r} "
+                f"(skew {plan.skew_ratio:.2f} vs threshold "
+                f"{plan.skew_threshold:.2f})")
+
+        row = {
+            "gamma": gamma,
+            "theta": theta,
+            "kind": kind,
+            "vertices": graph.vertex_count,
+            "edges": graph.edge_count,
+            "workers": PARALLEL_WORKERS,
+            "branches": driver.statistics.branches_explored,
+            "subproblems": branch_histogram.count,
+            "largest_subproblem_branches": branch_histogram.max,
+            "sequential_s": round(sequential_s, 3),
+            "shard_s": round(shard_s, 3),
+            "branch_s": round(branch_s, 3),
+            "steals": steals,
+            "busiest_worker_branches": busiest,
+            "balance_speedup": balance_speedup,
+            "wall_speedup": wall_speedup,
+            "single_core": not multicore,
+            "auto_mode": plan.parallel_mode,
+            "skew_ratio": round(plan.skew_ratio, 3),
+            "parity": True,
+            "speedup": balance_speedup if kind == "skewed" else wall_speedup,
+        }
+        rows[name] = row
+        if verbose:
+            print(f"parallel   {name:18s} gamma={gamma} theta={theta} "
+                  f"[{kind}]: shard {row['shard_s']:.2f}s vs branch "
+                  f"{row['branch_s']:.2f}s, balance {balance_speedup}x "
+                  f"({steals} steals, auto={plan.parallel_mode}"
+                  f"{', single-core host' if not multicore else ''})")
+    return {
+        "workload": ("shard vs work-stealing branch parallelism at "
+                     f"{PARALLEL_WORKERS} workers (planted-community graphs, "
+                     "sequential-parity checked)"),
+        "modes": ["shard", "branch"],
+        "datasets": rows,
+        "summary": {
+            "geomean_speedup": round(
+                _geomean(r["speedup"] for r in rows.values()
+                         if r["kind"] == "skewed"), 2),
+            "uniform_overhead_pct": next(
+                (round((r["branch_s"] / r["shard_s"] - 1.0) * 100, 1)
+                 for r in rows.values() if r["kind"] == "uniform"
+                 and r["shard_s"]), None),
+        },
+    }
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -473,6 +624,11 @@ def main(argv=None) -> int:
                         metavar="FLOOR",
                         help="large-graph suite: dict peak-RSS delta must exceed "
                         "the CSR delta by this factor (4 = CSR under 25%%)")
+    parser.add_argument("--assert-branch-speedup", type=float, default=None,
+                        metavar="FLOOR",
+                        help="parallel suite: the skewed row's balance speedup "
+                        "(branch mode's critical path vs shard's) must reach "
+                        "this factor")
     parser.add_argument("--assert-count", type=int, default=2, metavar="N",
                         help="how many datasets must meet each floor (default 2)")
     args = parser.parse_args(argv)
@@ -501,6 +657,9 @@ def main(argv=None) -> int:
         record["suites"]["large-graph"] = run_large_graph_suite(
             LARGE_GRAPH_QUICK if quick else LARGE_GRAPH_FULL,
             repeat=args.repeat)
+    if "parallel" in selected:
+        record["suites"]["parallel"] = run_parallel_suite(
+            PARALLEL_QUICK if quick else PARALLEL_FULL, repeat=args.repeat)
 
     # Process high-water mark after every suite ran (None on platforms
     # without getrusage) — part of the recorded trajectory, like the timings.
@@ -526,6 +685,8 @@ def main(argv=None) -> int:
     _assert_floor(record, "dynamic-updates", args.assert_dynamic_speedup,
                   1, failures)
     _assert_floor(record, "large-graph", args.assert_rss_speedup,
+                  1, failures)
+    _assert_floor(record, "parallel", args.assert_branch_speedup,
                   1, failures)
     if failures:
         for failure in failures:

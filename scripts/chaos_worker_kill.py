@@ -1,18 +1,26 @@
 #!/usr/bin/env python
-"""Chaos-smoke leg: SIGKILL a spool worker mid-task and prove full recovery.
+"""Chaos-smoke legs: kill workers mid-task and prove full recovery.
 
-Spools every compact subproblem of a generated graph, starts a victim
-`repro worker` subprocess armed (via ``REPRO_FAULTS``) to stall forever inside
-its first task, SIGKILLs it once it holds a claim, then lets a surviving
-worker drain the spool.  The run passes only if the merged spool answer is
-exactly the sequential DCFastQC answer, the dead-letter directory is empty,
-and at least one task visibly went through the lease-reclaim machinery.
+Leg 1 (spool): spools every compact subproblem of a generated graph, starts a
+victim `repro worker` subprocess armed (via ``REPRO_FAULTS``) to stall forever
+inside its first task, SIGKILLs it once it holds a claim, then lets a
+surviving worker drain the spool.  The run passes only if the merged spool
+answer is exactly the sequential DCFastQC answer, the dead-letter directory is
+empty, and at least one task visibly went through the lease-reclaim machinery.
+
+Leg 2 (branch-parallel): arms the same ``worker.task`` fault site to SIGKILL a
+work-stealing branch-parallel worker mid-task, runs
+``ParallelDCFastQC(mode="branch")`` and requires the crash to fall back to the
+sequential path with an answer identical to a clean sequential run — and, the
+point of the leg, that every ``/dev/shm`` shared-memory segment the steal
+coordinator published was unlinked despite the crash.
 
 Run from the repo root:  PYTHONPATH=src python scripts/chaos_worker_kill.py
 """
 
 from __future__ import annotations
 
+import glob
 import os
 import random
 import signal
@@ -25,6 +33,9 @@ sys.path.insert(0, "src")
 
 from repro import Graph
 from repro.core.dcfastqc import DCFastQC
+from repro.extensions.parallel import ParallelDCFastQC
+from repro.extensions.stealing import SEGMENT_PREFIX
+from repro.resilience.faults import install_plan, reset_plan
 from repro.serve.worker import SpoolQueue, SpoolWorker, WorkTask
 from repro.settrie.filter import filter_non_maximal
 
@@ -104,7 +115,36 @@ def main() -> int:
         print(f"recovered: {len(got)} cliques match sequential parity, "
               f"{len(reclaimed)} task(s) reclaimed from the killed worker, "
               "dead-letter dir empty")
+
+    branch_parallel_leg()
     return 0
+
+
+def branch_parallel_leg() -> None:
+    """SIGKILL a branch-parallel steal worker; require fallback parity and
+    zero leaked shared-memory segments."""
+    graph = _random_graph(seed=23)
+    expected = set(filter_non_maximal(
+        DCFastQC(graph, GAMMA, THETA).enumerate(), theta=THETA))
+    install_plan("worker.task:kill:times=1")
+    try:
+        runner = ParallelDCFastQC(graph, GAMMA, THETA, workers=2, mode="branch")
+        answers = set(runner.find_maximal())
+    finally:
+        reset_plan()
+    if runner.mode_selected != "sequential":
+        raise SystemExit("the killed branch worker did not trigger the "
+                         f"sequential fallback (got {runner.mode_selected!r})")
+    if answers != expected:
+        raise SystemExit(
+            f"branch-parallel fallback parity broken: {len(answers)} cliques "
+            f"vs sequential {len(expected)}")
+    leaked = glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+    if leaked:
+        raise SystemExit(f"leaked shared-memory segments after the worker "
+                         f"kill: {leaked}")
+    print(f"branch-parallel kill: sequential fallback matches parity "
+          f"({len(answers)} cliques), /dev/shm clean")
 
 
 if __name__ == "__main__":

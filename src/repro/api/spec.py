@@ -40,6 +40,12 @@ WORKLOADS = ("enumerate", "topk", "containment", "count")
 #: ``algorithm`` values a spec accepts ("auto" defers to the planner).
 SPEC_ALGORITHMS = ("auto",) + ALGORITHMS
 
+#: ``parallel`` values a spec accepts: "auto" lets the planner pick between
+#: sharding whole DC subproblems and work-stealing branch parallelism from the
+#: subproblem-size skew, "none" forces the sequential driver, and
+#: "shard"/"branch" force one parallel mode.
+SPEC_PARALLEL_MODES = ("auto", "none", "shard", "branch")
+
 
 @dataclass(frozen=True)
 class QuerySpec:
@@ -62,6 +68,13 @@ class QuerySpec:
         over compact subproblem index spaces) or ``"reference"`` (the
         original mask/popcount implementation).  Both are exact and produce
         identical answers on identical branch trees.
+    parallel:
+        Parallel execution mode for divide-and-conquer plans: ``"auto"``
+        (default — the planner picks shard- or branch-parallelism from the
+        subproblem-size skew, or stays serial), ``"none"``, ``"shard"`` or
+        ``"branch"``.  Like worker counts this is an execution-resource knob:
+        every mode computes identical answers, so it does not participate in
+        the cache key.
     k:
         When given, return only the ``k`` largest answers (ranked by size,
         ties broken by sorted labels).
@@ -93,6 +106,7 @@ class QuerySpec:
     branching: str | None = None
     framework: str | None = None
     kernel: str = "ledger"
+    parallel: str = "auto"
     max_rounds: int = DEFAULT_MAX_ROUNDS
     maximality_filter: bool = True
     k: int | None = None
@@ -117,6 +131,9 @@ class QuerySpec:
         if self.kernel not in KERNELS:
             raise SpecError(f"unknown kernel {self.kernel!r}; "
                             f"expected one of {KERNELS}")
+        if self.parallel not in SPEC_PARALLEL_MODES:
+            raise SpecError(f"unknown parallel mode {self.parallel!r}; "
+                            f"expected one of {SPEC_PARALLEL_MODES}")
         if self.max_rounds < 0:
             raise SpecError("max_rounds must be non-negative")
         if self.k is not None and self.k < 1:
@@ -161,8 +178,11 @@ class QuerySpec:
 
         Budgets and output options are deliberately excluded — they shape the
         delivered copy, not the cached full result (budget-truncated results
-        are never cached at all).  Gamma is normalised to an exact fraction so
-        ``0.9`` and ``Fraction(9, 10)`` address the same entry.
+        are never cached at all).  ``parallel`` is excluded too: execution
+        resources never change the answer, so a shard-parallel and a
+        branch-parallel run of the same query share one cache entry.  Gamma is
+        normalised to an exact fraction so ``0.9`` and ``Fraction(9, 10)``
+        address the same entry.
         """
         return ("spec", gamma_fraction(self.gamma), int(self.theta),
                 self.algorithm, self.branching, self.framework, self.kernel,
@@ -235,6 +255,8 @@ class QuerySpec:
         parts = [f"{self.workload} gamma={self.gamma} theta={self.theta}"]
         if self.algorithm != "auto":
             parts.append(f"algorithm={self.algorithm}")
+        if self.parallel != "auto":
+            parts.append(f"parallel={self.parallel}")
         if self.contains:
             parts.append(f"containing={','.join(map(str, self.contains))}")
         if self.k is not None:

@@ -59,6 +59,7 @@ from pathlib import Path
 
 from .api import QuerySpec
 from .api.execute import containment_search, topk_search
+from .api.spec import SPEC_PARALLEL_MODES
 from .core.dcfastqc import DC_FRAMEWORKS
 from .core.kernel import KERNELS
 from .datasets.registry import REGISTRY, get_spec, load_dataset, load_prepared
@@ -307,6 +308,8 @@ def _build_query_spec(args: argparse.Namespace) -> QuerySpec:
         fields["kernel"] = args.kernel
     if args.max_rounds is not None:
         fields["max_rounds"] = args.max_rounds
+    if getattr(args, "parallel", None) is not None:
+        fields["parallel"] = args.parallel
     if args.containing:
         fields["contains"] = tuple(_int_if_possible(token) for token in args.containing)
     if args.top is not None:
@@ -355,7 +358,7 @@ def _write_trace(tracer, args: argparse.Namespace) -> None:
 def _command_query(args: argparse.Namespace) -> int:
     prepared = _load_prepared(args)
     spec = _build_query_spec(args)
-    engine = MQCEEngine()
+    engine = MQCEEngine(workers=getattr(args, "workers", None))
     if args.explain:
         plan = engine.explain(prepared, spec)
         if args.json:
@@ -430,15 +433,16 @@ def _require_parameters(args: argparse.Namespace) -> tuple[float, int]:
 def _command_engine_query(args: argparse.Namespace) -> int:
     prepared = _load_prepared(args)
     gamma, theta = _require_parameters(args)
-    engine = MQCEEngine()
+    engine = MQCEEngine(workers=getattr(args, "workers", None))
     repeats = max(1, args.repeat)
+    spec = QuerySpec(gamma=gamma, theta=theta, algorithm=args.algorithm,
+                     branching=args.branching,
+                     parallel=getattr(args, "parallel", None) or "auto")
     # Planned once here; the query loop reuses the memoized plan.
-    plan = engine.explain(prepared, gamma, theta, algorithm=args.algorithm,
-                          branching=args.branching)
+    plan = engine.explain(prepared, spec)
     result = None
     for _ in range(repeats):
-        result = engine.query(prepared, gamma, theta, algorithm=args.algorithm,
-                              branching=args.branching)
+        result = engine.query(prepared, spec)
     stats = engine.stats()
     if args.json:
         print(json.dumps({"result": result.summary(), "plan": plan.as_dict(),
@@ -500,8 +504,11 @@ def _command_engine_batch(args: argparse.Namespace) -> int:
 def _command_engine_explain(args: argparse.Namespace) -> int:
     prepared = _load_prepared(args)
     gamma, theta = _require_parameters(args)
-    plan = MQCEEngine().explain(prepared, gamma, theta, algorithm=args.algorithm,
-                                branching=args.branching)
+    spec = QuerySpec(gamma=gamma, theta=theta, algorithm=args.algorithm,
+                     branching=args.branching,
+                     parallel=getattr(args, "parallel", None) or "auto")
+    engine = MQCEEngine(workers=getattr(args, "workers", None))
+    plan = engine.explain(prepared, spec)
     if args.json:
         print(json.dumps(plan.as_dict(), indent=2))
     else:
@@ -776,6 +783,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "incremental degree ledgers (default) or the "
                               "mask-based reference oracle")
     query_parser.add_argument("--max-rounds", type=int, help="subproblem shrinking rounds")
+    query_parser.add_argument("--parallel", choices=SPEC_PARALLEL_MODES,
+                              help="parallel execution mode: auto lets the "
+                              "planner pick shard or work-stealing branch "
+                              "parallelism from the subproblem-size histogram")
+    query_parser.add_argument("--workers", type=int, metavar="N",
+                              help="process-pool size for parallel plans")
     query_parser.add_argument("--containing", nargs="+", metavar="VERTEX",
                               help="only quasi-cliques containing these vertices")
     query_parser.add_argument("--top", type=int, metavar="K",
@@ -887,6 +900,12 @@ def build_parser() -> argparse.ArgumentParser:
         if branching:
             sub.add_argument("--branching", choices=("hybrid", "sym-se", "se"),
                              help="force the branching rule")
+            sub.add_argument("--parallel", choices=SPEC_PARALLEL_MODES,
+                             help="parallel execution mode: auto lets the "
+                             "planner pick shard or work-stealing branch "
+                             "parallelism (default: auto)")
+            sub.add_argument("--workers", type=int, metavar="N",
+                             help="process-pool size for parallel plans")
 
     query_sub = engine_subparsers.add_parser(
         "query", help="run one MQCE query through the engine")

@@ -320,6 +320,8 @@ class DCFastQC:
                                   size=subgraph.vertex_count):
                 batch = engine.enumerate_branch(branch)
             self.statistics.merge(engine.statistics)
+            self.statistics.subproblem_branches.record(
+                engine.statistics.branches_explored)
             self.stopped = engine.stopped
             yield batch
             if self.stopped:
@@ -397,6 +399,7 @@ class DCFastQC:
             self.dc_statistics.subproblem_records.append(SubproblemRecord(
                 root=root, initial_size=initial_size,
                 refined_size=refined_mask.bit_count()))
+            self.statistics.subproblem_sizes.record(refined_mask.bit_count())
             prior_mask |= 1 << root_index
             if refined_mask.bit_count() < self.theta or not (refined_mask >> root_index) & 1:
                 continue

@@ -128,6 +128,8 @@ class FastQC:
             progress.attach_statistics(self.statistics)
         self._results: list[frozenset] = []
         self._seen_masks: set[int] = set()
+        #: Verdict of the most recent enumerate_branch (see its docstring).
+        self.last_branch_found: bool | None = None
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -152,20 +154,35 @@ class FastQC:
         )
         return self.enumerate_branch(branch)
 
-    def enumerate_branch(self, branch: Branch) -> list[frozenset]:
-        """Run FastQC starting from a prepared bitmask branch."""
+    def enumerate_branch(self, branch: Branch,
+                         scheduler=None) -> list[frozenset]:
+        """Run FastQC starting from a prepared bitmask branch.
+
+        ``scheduler`` (optional) enables the work-stealing driver variant
+        (see :mod:`repro.extensions.stealing`): pending subtrees may be
+        shipped to other workers, and the returned list then covers only the
+        locally-emitted sets — remote emissions arrive via ``on_output`` on
+        the thief's side.  :attr:`last_branch_found` records the driver's
+        exact subtree verdict (True iff a quasi-clique was output anywhere in
+        this branch's tree), or None when the root is still parked on stolen
+        subtrees; it is the value the stealing protocol ships between workers
+        so ancestors' ``G[S]`` fallback emissions stay branch-for-branch
+        identical to the sequential driver.
+        """
         self.statistics.subproblems += 1
         self.statistics.subproblem_sizes.record(branch.union_size)
         start = len(self._results)
         if self.kernel == "ledger":
             root = BranchState.from_branch(self.graph, branch, self.statistics)
-            depth_first_enumerate(root, self._expand_ledger, self._close,
-                                  should_stop=self._poll_stop,
-                                  ticker=self.progress)
+            self.last_branch_found = depth_first_enumerate(
+                root, self._expand_ledger, self._close,
+                should_stop=self._poll_stop,
+                ticker=self.progress, scheduler=scheduler)
         else:
-            depth_first_enumerate(branch, self._expand_reference, self._close,
-                                  should_stop=self._poll_stop,
-                                  ticker=self.progress)
+            self.last_branch_found = depth_first_enumerate(
+                branch, self._expand_reference, self._close,
+                should_stop=self._poll_stop,
+                ticker=self.progress, scheduler=scheduler)
         if self.progress is not None and self.progress.cancelled:
             self.stopped = True
         return self._results[start:]

@@ -1024,9 +1024,129 @@ class ShrinkLedgers:
 KERNELS = ("ledger", "reference")
 
 
+class BranchFrame:
+    """One unresolved ``close`` obligation of the steal-aware driver.
+
+    The plain driver keeps close obligations implicit in stack order: a
+    branch's ``(True, payload)`` entry sits below its children, so by the time
+    it pops every descendant has been processed.  Work stealing breaks that
+    invariant — a stolen subtree finishes *elsewhere*, possibly long after the
+    local stack drained — so each interior branch gets an explicit frame that
+    counts its outstanding contributions (``pending``: unresolved child frames
+    plus stolen subtrees) and accumulates the found-a-quasi-clique verdict
+    (``found``).  ``close(payload, found)`` runs only once ``popped`` (the
+    frame's own stack entry was reached) *and* ``pending == 0``.
+
+    ``on_resolve`` is set on task-root frames by the stealing scheduler: it
+    fires exactly once with the subtree's final verdict, which is how a worker
+    reports a (possibly parked) task back to the coordinator.
+    """
+
+    __slots__ = ("payload", "parent", "found", "pending", "popped", "on_resolve")
+
+    def __init__(self, payload=None, parent: "BranchFrame | None" = None) -> None:
+        self.payload = payload
+        self.parent = parent
+        self.found = False
+        self.pending = 0
+        self.popped = False
+        self.on_resolve = None
+
+
+def resolve_ready_frames(frame: BranchFrame, close: Callable):
+    """Run ``close`` up the frame chain while frames are fully contributed.
+
+    Returns the root frame's verdict when the cascade resolves it, else None
+    (some frame is still waiting on a stolen subtree or unpopped entry).
+    """
+    while frame.popped and frame.pending == 0:
+        if frame.parent is None:
+            result = frame.found
+        else:
+            result = bool(close(frame.payload, frame.found)) or frame.found
+        if frame.on_resolve is not None:
+            callback, frame.on_resolve = frame.on_resolve, None
+            callback(result)
+        parent = frame.parent
+        if parent is None:
+            return result
+        if result:
+            parent.found = True
+        parent.pending -= 1
+        frame = parent
+    return None
+
+
+def contribute_steal_result(frame: BranchFrame, found: bool, close: Callable):
+    """Apply a stolen subtree's verdict to its parked parent frame.
+
+    The inverse of the ``pending += 1`` a steal performs: decrement, fold the
+    verdict in, and resolve whatever the contribution unblocked.
+    """
+    if found:
+        frame.found = True
+    frame.pending -= 1
+    return resolve_ready_frames(frame, close)
+
+
+def _enumerate_with_scheduler(root, expand: Callable, close: Callable,
+                              scheduler, poll) -> bool | None:
+    """The frame-based driver variant used when a stealing scheduler is active.
+
+    Behaviourally identical to the plain loop below — same visit order, same
+    ``expand``/``close`` call sequence — except that pending subtrees may be
+    removed from the *bottom* of the stack by ``scheduler`` and finished by
+    another worker.  Returns the root verdict, or None when the root is parked
+    on stolen subtrees (its ``on_resolve`` callback fires later, when the last
+    steal result is contributed via :func:`contribute_steal_result`).
+    """
+    root_frame = BranchFrame()
+    stack: list = [(root, root_frame)]
+
+    def steal():
+        # Bottom-most pending visit, excluding the entry about to be popped:
+        # stealing the worker's only remaining visit would just idle *this*
+        # worker instead.  Returns (state, parent_frame) with the parent's
+        # pending count already bumped, or None when nothing is stealable.
+        for index in range(len(stack) - 1):
+            entry = stack[index]
+            if type(entry) is tuple:
+                del stack[index]
+                state, parent = entry
+                parent.pending += 1
+                return state, parent
+        return None
+
+    scheduler.begin_task(steal, close, root_frame)
+    on_branch = scheduler.on_branch
+    while stack:
+        entry = stack.pop()
+        if type(entry) is not tuple:
+            entry.popped = True
+            resolve_ready_frames(entry, close)
+            continue
+        state, parent = entry
+        if poll is not None and poll(len(stack)):
+            return True
+        on_branch()
+        outcome = expand(state)
+        if isinstance(outcome, bool):
+            if outcome:
+                parent.found = True
+            continue
+        children, close_payload = outcome
+        frame = BranchFrame(close_payload, parent)
+        parent.pending += 1
+        stack.append(frame)
+        for child in reversed(children):
+            stack.append((child, frame))
+    root_frame.popped = True
+    return resolve_ready_frames(root_frame, close)
+
+
 def depth_first_enumerate(root, expand: Callable, close: Callable,
                           should_stop: Callable[[], bool] | None = None,
-                          ticker=None) -> bool:
+                          ticker=None, scheduler=None) -> bool | None:
     """Post-order depth-first search over branches with an explicit work stack.
 
     ``expand(branch)`` is called once per visited branch and returns either a
@@ -1045,6 +1165,17 @@ def depth_first_enumerate(root, expand: Callable, close: Callable,
     ``ticker.on_branch(depth)`` is called once per expansion (an increment
     plus a modulo until its period elapses) and a True return requests the
     same cooperative unwind as ``should_stop``.
+
+    ``scheduler`` is an optional work-stealing scheduler (see
+    :mod:`repro.extensions.stealing`): ``scheduler.begin_task(steal, close,
+    root_frame)`` is called once before the loop and ``scheduler.on_branch()``
+    once per expansion.  The scheduler may call ``steal()`` to remove the
+    bottom-most pending subtree for another worker and must later contribute
+    that subtree's verdict via :func:`contribute_steal_result`.  With a
+    scheduler the return value may be None: the local stack drained but the
+    root still awaits stolen subtrees (the root frame's ``on_resolve`` fires
+    when it finally resolves).  With ``scheduler=None`` (the default) this is
+    the original allocation-free loop, unchanged.
     """
     # Both hooks fold into one prebuilt ``poll``, so the common disabled case
     # pays exactly one is-None check per branch — the same instruction count
@@ -1056,6 +1187,8 @@ def depth_first_enumerate(root, expand: Callable, close: Callable,
     else:
         def poll(depth, _tick=ticker.on_branch):
             return should_stop() or _tick(depth)
+    if scheduler is not None:
+        return _enumerate_with_scheduler(root, expand, close, scheduler, poll)
     stack: list[tuple[bool, object]] = [(False, root)]
     found: list[bool] = [False]
     while stack:

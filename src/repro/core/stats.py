@@ -82,7 +82,17 @@ class SearchStatistics:
     shrink_removed_one_hop: int = 0
     shrink_removed_two_hop: int = 0
     shrink_ledger_updates: int = 0
+    #: Branch-parallel runs only: subtrees stolen between workers and the
+    #: summed worker busy wall-clock (both 0 for sequential/shard runs).
+    steals: int = 0
+    parallel_busy_seconds: float = 0.0
     subproblem_sizes: SizeHistogram = field(default_factory=SizeHistogram)
+    #: Branches explored per DC subproblem.  Unlike the ball-size histogram
+    #: this measures *work directly*, so the planner prefers it for the
+    #: shard/branch skew decision once a run has recorded it.  Branch-parallel
+    #: runs leave it empty: stolen subtrees cross workers, so per-subproblem
+    #: attribution is only possible on sequential/shard/inline runs.
+    subproblem_branches: SizeHistogram = field(default_factory=SizeHistogram)
 
     def as_dict(self) -> dict:
         data = asdict(self)
@@ -112,4 +122,7 @@ class SearchStatistics:
         self.shrink_removed_one_hop += other.shrink_removed_one_hop
         self.shrink_removed_two_hop += other.shrink_removed_two_hop
         self.shrink_ledger_updates += other.shrink_ledger_updates
+        self.steals += other.steals
+        self.parallel_busy_seconds += other.parallel_busy_seconds
         self.subproblem_sizes.merge(other.subproblem_sizes)
+        self.subproblem_branches.merge(other.subproblem_branches)

@@ -34,9 +34,8 @@ from dataclasses import dataclass
 
 from ..api.execute import containment_search, shape_result, topk_search
 from ..api.spec import QuerySpec, coerce_spec
-from ..core.stats import SearchStatistics
 from ..errors import EngineError
-from ..extensions.parallel import ParallelDCFastQC
+from ..extensions.parallel import LAST_PARALLEL_RUN, ParallelDCFastQC
 from ..graph.graph import Graph
 from ..obs.metrics import REGISTRY
 from ..obs.trace import NULL_TRACER
@@ -291,7 +290,7 @@ class MQCEEngine:
         """Engine counters: queries served, cache behaviour, plan mix."""
         algorithms = Counter(record.algorithm for record in self.history)
         cached = sum(1 for record in self.history if record.cached)
-        return {
+        stats = {
             "queries": len(self.history),
             "queries_cached": cached,
             "queries_executed": len(self.history) - cached,
@@ -301,6 +300,11 @@ class MQCEEngine:
             "cache": self.cache.stats.as_dict(),
             "plans_by_algorithm": dict(algorithms),
         }
+        if LAST_PARALLEL_RUN:
+            # Telemetry of the most recent parallel enumeration (mode, steal
+            # count, worker utilization) — process-global, like the registry.
+            stats["parallel"] = dict(LAST_PARALLEL_RUN)
+        return stats
 
     def clear_cache(self) -> None:
         """Drop every cached result (the counters survive for ``stats()``)."""
@@ -334,22 +338,41 @@ class MQCEEngine:
             # branch-tick channel either; `progress` only applies below.)
             runner = ParallelDCFastQC(graph, plan.gamma, plan.theta,
                                       branching=plan.branching, kernel=plan.kernel,
-                                      workers=plan.workers)
+                                      workers=plan.workers, mode=plan.parallel_mode)
             with tracer.span("enumerate", algorithm=plan.algorithm,
                              parallel=True) as enumerate_span:
                 candidates = runner.enumerate()
-                enumerate_span.annotate(candidates=len(candidates))
+                enumerate_span.annotate(candidates=len(candidates),
+                                        mode=runner.mode_selected)
             with tracer.span("filter") as filter_span:
                 maximal = filter_non_maximal(candidates, theta=plan.theta)
                 filter_span.annotate(maximal=len(maximal))
+            # Feed the observed subproblem-size histogram back to the planner:
+            # the next plan for this (gamma, theta) decides shard-vs-branch
+            # from real evidence instead of the sampled estimate.
+            prepared.record_subproblem_histogram(
+                plan.gamma, plan.theta, runner.statistics.subproblem_sizes)
+            prepared.record_subproblem_histogram(
+                plan.gamma, plan.theta, runner.statistics.subproblem_branches,
+                kind="branches")
             return EnumerationResult(
                 maximal_quasi_cliques=canonical_order(maximal),
                 candidate_quasi_cliques=list(candidates),
                 algorithm=plan.algorithm, gamma=plan.gamma, theta=plan.theta,
-                search_statistics=SearchStatistics(),
+                search_statistics=runner.statistics,
                 enumeration_seconds=enumerate_span.seconds,
                 filtering_seconds=filter_span.seconds)
-        return run_enumeration(graph, resolved, tracer=tracer, progress=progress)
+        result = run_enumeration(graph, resolved, tracer=tracer, progress=progress)
+        if result.search_statistics is not None:
+            # Sequential DC runs observe the same decomposition; recording the
+            # histogram (no-op when empty) lets the next plan for this
+            # (gamma, theta) pick shard vs branch from evidence.
+            prepared.record_subproblem_histogram(
+                plan.gamma, plan.theta, result.search_statistics.subproblem_sizes)
+            prepared.record_subproblem_histogram(
+                plan.gamma, plan.theta,
+                result.search_statistics.subproblem_branches, kind="branches")
+        return result
 
     def _record(self, plan: QueryPlan, cached: bool, seconds: float) -> None:
         _QUERIES.inc(served="cache" if cached else "execute")

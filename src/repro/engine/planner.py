@@ -23,7 +23,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, asdict
 
+from ..api.spec import SPEC_PARALLEL_MODES
 from ..core.kernel import KERNELS
+from ..extensions.parallel import (BRANCH_OVERHEAD, branch_histogram_skew,
+                                   branch_mode_wins, histogram_skew)
 from ..obs.metrics import REGISTRY
 from ..pipeline.mqce import ALGORITHMS
 from ..quasiclique.definitions import gamma_fraction, validate_parameters
@@ -42,6 +45,7 @@ _TRIVIAL_PLANS = REGISTRY.counter(
 #: Planner decision thresholds, overridable per engine instance.
 DEFAULT_SMALL_GRAPH_VERTICES = 64
 DEFAULT_PARALLEL_MIN_VERTICES = 2048
+DEFAULT_PARALLEL_MIN_BRANCHES = 4096
 DEFAULT_MAX_WORKERS = 8
 
 #: Cap on the exponent used by the relative cost estimate.
@@ -54,6 +58,9 @@ class PlannerConfig:
 
     small_graph_vertices: int = DEFAULT_SMALL_GRAPH_VERTICES
     parallel_min_vertices: int = DEFAULT_PARALLEL_MIN_VERTICES
+    #: Observed branch counts above this open the parallel gate even when the
+    #: core is small — a 32-vertex core can still hold seconds of enumeration.
+    parallel_min_branches: int = DEFAULT_PARALLEL_MIN_BRANCHES
     max_workers: int = DEFAULT_MAX_WORKERS
 
 
@@ -78,6 +85,20 @@ class QueryPlan:
     eligible_components: int
     size_upper_bound: int
     estimated_cost: float
+    #: How a parallel plan executes: "none" (serial), "shard" (whole-subproblem
+    #: fan-out) or "branch" (work-stealing inside subproblems).  The skew
+    #: fields record the decision's inputs: the largest subproblem's estimated
+    #: share of the total work, the share above which branch mode wins at this
+    #: worker count, the largest histogram entry itself, and where the
+    #: histogram came from — "observed-branches" (per-subproblem branch counts
+    #: from a completed run; work measured directly, linear weights),
+    #: "observed-sizes" (ball sizes from a completed run; quadratic proxy) or
+    #: "estimated" (the planner's sampled two-hop estimate; quadratic proxy).
+    parallel_mode: str = "none"
+    skew_ratio: float = 0.0
+    skew_threshold: float = 0.0
+    largest_subproblem: int = 0
+    histogram_source: str = "none"
     reasons: tuple[str, ...] = field(default_factory=tuple)
 
     @property
@@ -90,7 +111,8 @@ class QueryPlan:
 
     def describe(self) -> str:
         """Human-readable multi-line explanation (the ``explain`` output)."""
-        mode = f"parallel x{self.workers}" if self.parallel else "serial"
+        mode = (f"parallel-{self.parallel_mode} x{self.workers}"
+                if self.parallel else "serial")
         lines = [
             f"QueryPlan for gamma={self.gamma}, theta={self.theta} "
             f"on graph {self.fingerprint} "
@@ -106,6 +128,15 @@ class QueryPlan:
             f"{self.size_upper_bound} vertices (degeneracy bound)",
             f"  est. cost:  {self.estimated_cost:.3g} relative units",
         ]
+        if self.parallel:
+            unit = ("branches" if self.histogram_source == "observed-branches"
+                    else "vertices")
+            lines.append(
+                f"  parallel:   {self.parallel_mode} mode — largest subproblem "
+                f"({self.largest_subproblem} {unit}) holds "
+                f"{self.skew_ratio:.0%} of the estimated work "
+                f"(branch threshold {self.skew_threshold:.0%} at "
+                f"{self.workers} workers, {self.histogram_source} histogram)")
         if self.trivial:
             lines.append("  verdict:    TRIVIAL — the answer is provably empty; "
                          "enumeration will be skipped")
@@ -125,22 +156,31 @@ class QueryPlanner:
         """Plan one :class:`repro.api.QuerySpec` (the engine's planning entry).
 
         Only the spec fields that influence plan selection are consulted
-        (gamma, theta, algorithm, branching, kernel); workload modifiers and
-        budgets do not change how the enumeration itself is best executed.
+        (gamma, theta, algorithm, branching, kernel, parallel); workload
+        modifiers and budgets do not change how the enumeration itself is best
+        executed.
         """
         return self.plan(prepared, spec.gamma, spec.theta,
                          algorithm=spec.algorithm, branching=spec.branching,
-                         kernel=spec.kernel, workers=workers)
+                         kernel=spec.kernel, workers=workers,
+                         parallel=spec.parallel)
 
     def plan(self, prepared: PreparedGraph, gamma: float, theta: int,
              algorithm: str = "auto", branching: str | None = None,
-             kernel: str = "ledger", workers: int | None = None) -> QueryPlan:
+             kernel: str = "ledger", workers: int | None = None,
+             parallel: str = "auto") -> QueryPlan:
         """Return the :class:`QueryPlan` for one query.
 
         ``algorithm="auto"`` lets the planner decide; naming one of
         :data:`~repro.pipeline.mqce.ALGORITHMS` forces it.  ``branching``,
         ``kernel`` and ``workers`` likewise override the planner when given.
-        Planning never runs the enumeration: it reads only memoized artifacts.
+        ``parallel`` requests an execution mode
+        (:data:`~repro.api.spec.SPEC_PARALLEL_MODES`): with ``"auto"`` the
+        planner reads the subproblem-size histogram — a completed run's
+        observed one if the prepared graph has it, else a sampled two-hop
+        estimate — and picks work-stealing branch parallelism when the largest
+        subproblem dominates.  Planning never runs the enumeration: it reads
+        only memoized artifacts.
         """
         validate_parameters(gamma, theta)
         if algorithm != "auto" and algorithm not in ALGORITHMS:
@@ -148,11 +188,18 @@ class QueryPlanner:
                 f"unknown algorithm {algorithm!r}; expected 'auto' or one of {ALGORITHMS}")
         if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+        if parallel not in SPEC_PARALLEL_MODES:
+            raise ValueError(f"unknown parallel mode {parallel!r}; "
+                             f"expected one of {SPEC_PARALLEL_MODES}")
         # Plans are deterministic in the prepared graph and this configuration,
         # so they are memoized alongside the other prepared artifacts; repeated
         # (and cache-hit) queries skip the per-component eligibility scan.
+        # The histogram version is part of the key: a completed run that
+        # records fresh subproblem-size evidence re-opens the shard/branch
+        # decision instead of serving a plan made from the sampled estimate.
         cache_key = (self.config, gamma_fraction(gamma), int(theta),
-                     algorithm, branching, kernel, workers)
+                     algorithm, branching, kernel, workers, parallel,
+                     prepared.histogram_version)
         memoized = prepared.plan_cache.get(cache_key)
         if memoized is not None:
             _PLANS.inc(algorithm=memoized.algorithm, source="memoized")
@@ -209,21 +256,90 @@ class QueryPlanner:
         # the machine (CPU count, capped by the planner configuration).
         available = min(self.config.max_workers, os.cpu_count() or 1)
         requested = workers if workers is not None else available
-        parallel = (chosen == "dcfastqc"
-                    and requested > 1
-                    and core_kept >= self.config.parallel_min_vertices)
-        effective_workers = requested if parallel else 1
-        if parallel:
-            reasons.append(
-                f"core of {core_kept} vertices exceeds the parallel threshold "
-                f"({self.config.parallel_min_vertices}): fanning DC subproblems "
-                f"out to {effective_workers} workers")
+        # The parallel gate opens on any of: a core big enough that fan-out is
+        # worth it on size alone, observed work (branch counts from a completed
+        # run — a tiny core can still hold seconds of enumeration), or an
+        # explicitly forced mode.
+        branch_evidence = prepared.subproblem_branch_histogram(gamma, theta)
+        observed_branches = branch_evidence.total if branch_evidence else 0
+        fan_out = (chosen == "dcfastqc"
+                   and requested > 1
+                   and parallel != "none"
+                   and (core_kept >= self.config.parallel_min_vertices
+                        or observed_branches >= self.config.parallel_min_branches
+                        or parallel in ("shard", "branch")))
+        effective_workers = requested if fan_out else 1
+        if fan_out:
+            if core_kept >= self.config.parallel_min_vertices:
+                reasons.append(
+                    f"core of {core_kept} vertices exceeds the parallel threshold "
+                    f"({self.config.parallel_min_vertices}): fanning DC subproblems "
+                    f"out to {effective_workers} workers")
+            elif observed_branches >= self.config.parallel_min_branches:
+                reasons.append(
+                    f"an observed run explored {observed_branches} branches "
+                    f"(>= {self.config.parallel_min_branches}): enough work to "
+                    f"fan out to {effective_workers} workers despite the "
+                    f"{core_kept}-vertex core")
+        elif parallel == "none" and requested > 1 and chosen == "dcfastqc":
+            reasons.append("parallelism disabled by the caller (parallel='none')")
         elif workers is not None and workers > 1:
             reasons.append(
                 f"parallelism declined despite workers={workers}: core of "
                 f"{core_kept} vertices is below the threshold "
                 f"({self.config.parallel_min_vertices}) or the algorithm is "
                 "not divide-and-conquer")
+
+        # Shard vs branch: the skew rule shared with the runtime.  Even a
+        # forced mode records the histogram evidence so explain() shows what
+        # the planner knew.
+        parallel_mode = "none"
+        skew_ratio = 0.0
+        skew_threshold = 0.0
+        largest_subproblem = 0
+        histogram_source = "none"
+        if fan_out:
+            skew_threshold = (1.0 + BRANCH_OVERHEAD) / effective_workers
+            # Evidence quality ladder: per-subproblem branch counts from a
+            # completed run measure the work directly (linear weights); ball
+            # sizes — observed or sampled — only proxy it quadratically, and a
+            # descending chain of similar-size balls can hide a dominant
+            # subtree that branch counts expose.
+            histogram = branch_evidence
+            if histogram is not None:
+                histogram_source = "observed-branches"
+                largest_work, total_work = branch_histogram_skew(histogram)
+            else:
+                histogram = prepared.subproblem_histogram(gamma, theta)
+                if histogram is not None:
+                    histogram_source = "observed-sizes"
+                else:
+                    histogram = prepared.estimate_subproblem_histogram(gamma, theta)
+                    histogram_source = "estimated"
+                largest_work, total_work = histogram_skew(histogram)
+            skew_ratio = largest_work / total_work if total_work else 0.0
+            largest_subproblem = histogram.max
+            unit = ("branches" if histogram_source == "observed-branches"
+                    else "vertices")
+            if parallel in ("shard", "branch"):
+                parallel_mode = parallel
+                reasons.append(f"parallel mode {parallel!r} forced by the caller")
+            elif branch_mode_wins(largest_work, total_work, effective_workers):
+                parallel_mode = "branch"
+                reasons.append(
+                    f"largest subproblem ({largest_subproblem} {unit}, "
+                    f"{histogram_source} histogram) holds {skew_ratio:.0%} of "
+                    f"the estimated work >= threshold {skew_threshold:.0%}: "
+                    "sharding would serialize on it, so work-stealing branch "
+                    "parallelism splits inside it")
+            else:
+                parallel_mode = "shard"
+                reasons.append(
+                    f"subproblem sizes are even (largest holds "
+                    f"{skew_ratio:.0%} of the estimated work < threshold "
+                    f"{skew_threshold:.0%}, {histogram_source} histogram): "
+                    "whole-subproblem sharding parallelises without steal "
+                    "overhead")
 
         estimated_cost = self._estimate_cost(prepared, core_kept, chosen)
         if core_kept < theta or bound < theta:
@@ -235,7 +351,11 @@ class QueryPlanner:
         plan = QueryPlan(
             gamma=gamma, theta=theta, algorithm=chosen, branching=branching,
             framework=framework, kernel=kernel,
-            parallel=parallel, workers=effective_workers,
+            parallel=fan_out, workers=effective_workers,
+            parallel_mode=parallel_mode, skew_ratio=skew_ratio,
+            skew_threshold=skew_threshold,
+            largest_subproblem=largest_subproblem,
+            histogram_source=histogram_source,
             fingerprint=prepared.fingerprint,
             graph_vertices=prepared.graph.vertex_count,
             graph_edges=prepared.graph.edge_count,
@@ -249,7 +369,7 @@ class QueryPlanner:
         prepared.plan_cache[cache_key] = plan
         _PLANS.inc(algorithm=plan.algorithm, source="computed")
         if plan.parallel:
-            _PARALLEL_PLANS.inc()
+            _PARALLEL_PLANS.inc(mode=plan.parallel_mode)
         if plan.trivial:
             _TRIVIAL_PLANS.inc()
         return plan

@@ -13,8 +13,10 @@ from .topk import (
     top_k_summary,
 )
 from .query import QueryError, community_of, find_quasi_cliques_containing
-from .parallel import (ParallelDCFastQC, parallel_enumerate,
+from .parallel import (PARALLEL_MODES, ParallelDCFastQC, parallel_enumerate,
                        run_compact_subproblem)
+from .stealing import (ForcedStealSchedule, WorkerCrash,
+                       branch_parallel_enumerate)
 
 __all__ = [
     "expand_kernel",
@@ -25,7 +27,11 @@ __all__ = [
     "QueryError",
     "community_of",
     "find_quasi_cliques_containing",
+    "PARALLEL_MODES",
     "ParallelDCFastQC",
     "parallel_enumerate",
     "run_compact_subproblem",
+    "ForcedStealSchedule",
+    "WorkerCrash",
+    "branch_parallel_enumerate",
 ]

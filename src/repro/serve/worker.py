@@ -144,7 +144,13 @@ class WorkTask:
 
 @dataclass(frozen=True)
 class TaskResult:
-    """One worker's answer: the candidate batch and its metrics snapshot."""
+    """One worker's answer: the candidate batch and its metrics snapshot.
+
+    ``statistics`` carries the worker-side
+    :class:`~repro.core.stats.SearchStatistics` so a coordinator can merge
+    branch counts across spool workers exactly like the in-process parallel
+    drivers do (None for results written by older workers).
+    """
 
     task_id: str
     cliques: tuple = ()
@@ -153,6 +159,7 @@ class TaskResult:
     worker: str = ""
     error: str | None = None
     attempts: int = 0
+    statistics: object | None = None
 
 
 class SpoolQueue:
@@ -565,14 +572,15 @@ class SpoolWorker:
             fault_point("worker.task")
             try:
                 fault_point("worker.enumerate")
-                cliques, metrics = run_compact_subproblem(
+                cliques, metrics, statistics = run_compact_subproblem(
                     task.subproblem, task.gamma, task.theta,
                     branching=task.branching, kernel=task.kernel)
                 result = TaskResult(task_id=task.task_id, cliques=tuple(cliques),
                                     metrics=metrics,
                                     seconds=time.perf_counter() - start,
                                     worker=self.worker_id,
-                                    attempts=task.attempts)
+                                    attempts=task.attempts,
+                                    statistics=statistics)
                 _TASKS.inc(outcome="ok")
             except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
                 result = TaskResult(task_id=task.task_id,

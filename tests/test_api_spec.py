@@ -320,3 +320,24 @@ class TestCLIQueryWarningFree:
             assert main(["community", "-d", "twitter", "0", "--gamma", "0.9",
                          "--theta", "5"]) == 0
         capsys.readouterr()
+
+
+class TestParallelField:
+    def test_validation_rejects_unknown_mode(self):
+        with pytest.raises(SpecError):
+            QuerySpec(gamma=0.9, theta=4, parallel="threads")
+
+    def test_excluded_from_cache_key(self):
+        base = QuerySpec(gamma=0.9, theta=4)
+        branch = dataclasses.replace(base, parallel="branch")
+        shard = dataclasses.replace(base, parallel="shard")
+        assert base.cache_key() == branch.cache_key() == shard.cache_key()
+
+    def test_json_roundtrip_omits_default(self):
+        default = QuerySpec(gamma=0.9, theta=4)
+        assert "parallel" not in json.loads(default.to_json())
+        forced = dataclasses.replace(default, parallel="branch")
+        restored = QuerySpec.from_json(forced.to_json())
+        assert restored.parallel == "branch"
+        # Pre-parallel JSON documents still load (field defaults to auto).
+        assert QuerySpec.from_json(default.to_json()).parallel == "auto"
